@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the design-choice ablations (DESIGN.md §4):
+//! the runtime cost of each algorithm variant on identical inputs, so the
+//! quality ablation (`experiments -- ablations`) can be weighed against
+//! planner overhead.
+
+use aheft_core::aheft::{AheftConfig, ReschedulableSet};
+use aheft_core::runner::{run_aheft_with, run_dynamic, run_static_heft_with, RunConfig};
+use aheft_core::{DynamicHeuristic, SlotPolicy};
+use aheft_gridsim::pool::PoolDynamics;
+use aheft_workflow::generators::blast::{self, AppDagParams};
+use aheft_workflow::generators::random::{generate, RandomDagParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_slot_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_slot_policy");
+    let mut rng = StdRng::seed_from_u64(11);
+    let p = RandomDagParams { jobs: 100, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(20, &mut rng);
+    let fixed = PoolDynamics::fixed(20);
+    for (name, policy) in
+        [("insertion", SlotPolicy::Insertion), ("end_of_queue", SlotPolicy::EndOfQueue)]
+    {
+        let cfg = RunConfig {
+            aheft: AheftConfig { slot_policy: policy, ..Default::default() },
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_static_heft_with(&wf.dag, &costs, &wf.costgen, &fixed, 1, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reschedulable_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_running_jobs");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(12);
+    let p = AppDagParams { parallelism: 100, ..AppDagParams::paper_default() };
+    let wf = blast::generate(&p, &mut rng);
+    let costs = wf.sample_table(10, &mut rng);
+    let dynamics = PoolDynamics::periodic_growth(10, 400.0, 0.25);
+    for (name, set) in [
+        ("abort_running", ReschedulableSet::AllUnfinished),
+        ("pin_running", ReschedulableSet::NotStarted),
+    ] {
+        let cfg = RunConfig {
+            aheft: AheftConfig { reschedulable: set, ..Default::default() },
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_aheft_with(&wf.dag, &costs, &wf.costgen, &dynamics, 1, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dynamic_heuristics");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(13);
+    let p = RandomDagParams { jobs: 60, ccr: 5.0, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(10, &mut rng);
+    let fixed = PoolDynamics::fixed(10);
+    for (name, h) in [
+        ("minmin", DynamicHeuristic::MinMin),
+        ("maxmin", DynamicHeuristic::MaxMin),
+        ("sufferage", DynamicHeuristic::Sufferage),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_dynamic(&wf.dag, &costs, &wf.costgen, &fixed, 1, h)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_slot_policy, bench_reschedulable_set, bench_dynamic_heuristics
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the workload generators (random §4.2; BLAST and
+//! WIEN2K §4.3) — the cost of materialising one test case of the campaign.
+
+use aheft_workflow::generators::blast::AppDagParams;
+use aheft_workflow::generators::random::RandomDagParams;
+use aheft_workflow::generators::{blast, random, wien2k};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_random_dag");
+    for &jobs in &[20usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(random::generate(&p, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_app_dag");
+    for &n in &[200usize, 1000] {
+        let p = AppDagParams { parallelism: n, ..AppDagParams::paper_default() };
+        group.bench_with_input(BenchmarkId::new("blast", n), &p, |b, p| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(blast::generate(p, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("wien2k", n), &p, |b, p| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(wien2k::generate(p, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_cost_table");
+    let mut rng = StdRng::seed_from_u64(4);
+    let p = AppDagParams { parallelism: 500, ..AppDagParams::paper_default() };
+    let wf = blast::generate(&p, &mut rng);
+    for &r in &[20usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(wf.sample_table(r, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_random, bench_apps, bench_cost_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the scheduling algorithms themselves:
+//! how expensive is one HEFT pass, one AHEFT rescheduling pass, and one
+//! dynamic Min-Min batch selection, as `v` and `R` grow. These are the
+//! planner-side costs the paper's architecture pays per event.
+
+use aheft_core::aheft::{aheft_reschedule, AheftConfig};
+use aheft_core::heft::{heft_schedule, HeftConfig};
+use aheft_core::minmin::{select_batch, DynamicHeuristic};
+use aheft_gridsim::executor::{ExecState, Snapshot};
+use aheft_workflow::generators::random::{generate, RandomDagParams};
+use aheft_workflow::ResourceId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_heft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heft_schedule");
+    for &(jobs, resources) in &[(20usize, 10usize), (60, 10), (100, 30), (100, 50)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{jobs}_r{resources}")),
+            &(&wf.dag, &costs),
+            |b, (dag, costs)| {
+                b.iter(|| heft_schedule(black_box(dag), black_box(costs), &HeftConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aheft_reschedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aheft_reschedule_mid_execution");
+    for &jobs in &[60usize, 100] {
+        let resources = 20;
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        // Mid-execution snapshot: the first third of the topo order done.
+        let mut snap = Snapshot::initial(resources);
+        snap.clock = 500.0;
+        snap.resource_avail = vec![500.0; resources];
+        for &j in wf.dag.topo_order().iter().take(jobs / 3) {
+            snap.finished.insert(j, (ResourceId(0), 400.0));
+        }
+        let alive: Vec<ResourceId> = (0..resources).map(ResourceId::from).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{jobs}")),
+            &(&wf.dag, &costs, &snap, &alive),
+            |b, (dag, costs, snap, alive)| {
+                b.iter(|| {
+                    aheft_reschedule(
+                        black_box(dag),
+                        black_box(costs),
+                        black_box(snap),
+                        black_box(alive),
+                        &AheftConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_minmin_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmin_select_batch");
+    for &jobs in &[10usize, 50, 200] {
+        let resources = 20;
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        let state = ExecState::new(jobs);
+        let ready: Vec<_> = wf.dag.entry_jobs();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{jobs}_ready{}", ready.len())),
+            &(&wf.dag, &costs, &state, &ready),
+            |b, (dag, costs, state, ready)| {
+                b.iter(|| {
+                    let mut avail: BTreeMap<ResourceId, f64> =
+                        (0..resources).map(|r| (ResourceId::from(r), 0.0)).collect();
+                    select_batch(
+                        black_box(dag),
+                        black_box(costs),
+                        black_box(state),
+                        0.0,
+                        &mut avail,
+                        black_box(ready),
+                        DynamicHeuristic::MinMin,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_heft, bench_aheft_reschedule, bench_minmin_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the discrete-event substrate: event-queue
+//! throughput and complete end-to-end workflow simulations — the Executor
+//! side of the paper's architecture.
+
+use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft};
+use aheft_core::DynamicHeuristic;
+use aheft_gridsim::engine::EventQueue;
+use aheft_gridsim::event::Event;
+use aheft_gridsim::pool::PoolDynamics;
+use aheft_gridsim::time::SimTime;
+use aheft_workflow::generators::random::{generate, RandomDagParams};
+use aheft_workflow::JobId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(
+                        SimTime::new((i % 97) as f64),
+                        Event::JobFinished { job: JobId((i % 64) as u32) },
+                    );
+                }
+                let mut count = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    count += 1;
+                    black_box(t);
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_run");
+    let mut rng = StdRng::seed_from_u64(4);
+    let p = RandomDagParams { jobs: 60, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(10, &mut rng);
+    let dynamics = PoolDynamics::periodic_growth(10, 400.0, 0.25);
+
+    group.bench_function("static_heft_v60_r10", |b| {
+        b.iter(|| run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, 5))
+    });
+    group.bench_function("aheft_v60_r10", |b| {
+        b.iter(|| run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, 5))
+    });
+    group.bench_function("dynamic_minmin_v60_r10", |b| {
+        b.iter(|| {
+            run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, 5, DynamicHeuristic::MinMin)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_full_runs
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion coverage of every table/figure regeneration path at smoke
+//! scale: one benchmark per paper artifact, so `cargo bench` exercises the
+//! complete reproduction pipeline (generation → paired simulation →
+//! aggregation) end to end and tracks its cost over time.
+//!
+//! The authoritative *outputs* come from the `experiments` binary
+//! (`cargo run -p aheft-bench --bin experiments -- all`); these benches
+//! measure how long each artifact takes to regenerate.
+
+use aheft_bench::experiments;
+use aheft_bench::scale::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regenerate");
+    group.sample_size(10);
+
+    group.bench_function("fig5_worked_example", |b| {
+        b.iter(|| black_box(experiments::fig5()))
+    });
+    group.bench_function("headline_random_averages", |b| {
+        b.iter(|| black_box(experiments::headline(Scale::Smoke)))
+    });
+    group.bench_function("table3_improvement_vs_ccr", |b| {
+        b.iter(|| black_box(experiments::table3(Scale::Smoke)))
+    });
+    group.bench_function("table4_improvement_vs_jobs", |b| {
+        b.iter(|| black_box(experiments::table4(Scale::Smoke)))
+    });
+    group.bench_function("table6_blast_wien2k", |b| {
+        b.iter(|| black_box(experiments::table6(Scale::Smoke)))
+    });
+    group.bench_function("table7_improvement_vs_parallelism", |b| {
+        b.iter(|| black_box(experiments::table7(Scale::Smoke)))
+    });
+    group.bench_function("table8_improvement_vs_app_ccr", |b| {
+        b.iter(|| black_box(experiments::table8(Scale::Smoke)))
+    });
+    for which in ['a', 'b', 'c', 'd', 'e', 'f'] {
+        group.bench_function(format!("fig8{which}"), |b| {
+            b.iter(|| black_box(experiments::fig8(Scale::Smoke, which)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Experiment CLI — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--scale smoke|default|full] [--csv DIR] <artifact>...
+//! artifacts: fig5 headline table3 table4 table6 table7 table8
+//!            fig8a..fig8f ablations all
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use aheft_bench::experiments;
+use aheft_bench::scale::Scale;
+use aheft_bench::tables::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (smoke|default|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| "results".into())));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale smoke|default|full] [--csv DIR] <artifact>...\n\
+                     artifacts: fig5 headline table3 table4 table6 table7 table8 \
+                     fig8a fig8b fig8c fig8d fig8e fig8f ablations all"
+                );
+                return;
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".into());
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = [
+            "fig5", "headline", "table3", "table4", "table6", "table7", "table8", "fig8a",
+            "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for artifact in &artifacts {
+        let start = Instant::now();
+        let tables: Vec<TextTable> = match artifact.as_str() {
+            "fig5" => experiments::fig5(),
+            "headline" => vec![experiments::headline(scale)],
+            "table3" => vec![experiments::table3(scale)],
+            "table4" => vec![experiments::table4(scale)],
+            "table6" => vec![experiments::table6(scale)],
+            "table7" => vec![experiments::table7(scale)],
+            "table8" => vec![experiments::table8(scale)],
+            f8 if f8.starts_with("fig8") && f8.len() == 5 => {
+                vec![experiments::fig8(scale, f8.chars().last().expect("len 5"))]
+            }
+            "ablations" => experiments::ablations(scale),
+            other => {
+                eprintln!("unknown artifact '{other}' — see --help");
+                std::process::exit(2);
+            }
+        };
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render());
+            if let Some(dir) = &csv_dir {
+                let name = if tables.len() == 1 {
+                    artifact.clone()
+                } else {
+                    format!("{artifact}_{i}")
+                };
+                if let Err(e) = t.write_csv(dir, &name) {
+                    eprintln!("failed to write {name}.csv: {e}");
+                }
+            }
+        }
+        eprintln!("[{artifact} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

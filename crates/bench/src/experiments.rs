@@ -1,0 +1,669 @@
+//! One function per paper artifact. Each returns [`TextTable`]s ready to
+//! print and persist; the binary in `src/bin/experiments.rs` dispatches.
+//!
+//! Absolute makespans use `ω_DAG = 100` time units (the paper never states
+//! its unit), so only *shapes* — orderings, trends, crossovers — are
+//! comparable to the paper's absolute numbers. Each table's note carries
+//! the paper's reference values.
+
+use aheft_core::aheft::{AheftConfig, ReschedulableSet};
+use aheft_core::runner::{
+    run_aheft_with, run_dynamic, run_static_heft_with, RunConfig,
+};
+use aheft_core::{DynamicHeuristic, ReschedulePolicy, SlotPolicy};
+use aheft_gridsim::stats::Running;
+use aheft_workflow::generators::blast::AppDagParams;
+use aheft_workflow::generators::random::RandomDagParams;
+use aheft_workflow::sample;
+
+use crate::harness::{mix_seed, run_cases, Case, CaseResult, Workload};
+use crate::scale::Scale;
+use crate::tables::{mk, pct, TextTable};
+
+/// Subsample `values` with the scale's stride, always keeping the first and
+/// last (the extremes define the trend).
+fn strided<T: Copy>(values: &[T], scale: Scale) -> Vec<T> {
+    let stride = scale.stride();
+    let mut out: Vec<T> = values.iter().copied().step_by(stride).collect();
+    if let (Some(&last), Some(&tail)) = (values.last(), out.last()) {
+        let _ = tail;
+        let keep_last = !(values.len() - 1).is_multiple_of(stride);
+        if keep_last {
+            out.push(last);
+        }
+    }
+    out
+}
+
+// Paper Table 2 values.
+const JOBS: [usize; 5] = [20, 40, 60, 80, 100];
+const CCR: [f64; 5] = [0.1, 0.5, 1.0, 5.0, 10.0];
+const OUT_DEGREE: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 1.0];
+const BETA: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+const POOL: [usize; 5] = [10, 20, 30, 40, 50];
+const DELTA: [f64; 4] = [400.0, 800.0, 1200.0, 1600.0];
+const FRACTION: [f64; 4] = [0.10, 0.15, 0.20, 0.25];
+
+// Paper Table 5 values (applications).
+const APP_CCR: [f64; 5] = [0.1, 0.5, 1.0, 5.0, 10.0];
+const APP_POOL: [usize; 5] = [20, 40, 60, 80, 100];
+
+/// Build the random-DAG case grid, optionally pinning one axis.
+fn random_cases(
+    scale: Scale,
+    pin_ccr: Option<f64>,
+    pin_jobs: Option<usize>,
+) -> Vec<Case> {
+    let jobs = pin_jobs.map(|v| vec![v]).unwrap_or_else(|| strided(&JOBS, scale));
+    let ccrs = pin_ccr.map(|c| vec![c]).unwrap_or_else(|| strided(&CCR, scale));
+    let outs = strided(&OUT_DEGREE, scale);
+    let betas = strided(&BETA, scale);
+    let pools = strided(&POOL, scale);
+    let deltas = strided(&DELTA, scale);
+    let fracs = strided(&FRACTION, scale);
+    let mut cases = Vec::new();
+    for &v in &jobs {
+        for &ccr in &ccrs {
+            for &out in &outs {
+                for &beta in &betas {
+                    for inst in 0..scale.instances() as u64 {
+                        for (&r, (&dl, &fr)) in
+                            pools.iter().zip(deltas.iter().cycle().zip(fracs.iter().cycle()))
+                        {
+                            let seed = mix_seed(
+                                mix_seed(v as u64, (ccr * 10.0) as u64),
+                                mix_seed(
+                                    (out * 10.0) as u64 + 1000 * (beta * 100.0) as u64,
+                                    inst + 31 * r as u64,
+                                ),
+                            );
+                            cases.push(Case {
+                                workload: Workload::Random(RandomDagParams {
+                                    jobs: v,
+                                    out_degree: out,
+                                    ccr,
+                                    beta,
+                                    omega_dag: 100.0,
+                                }),
+                                resources: r,
+                                delta_interval: Some(dl),
+                                delta_fraction: fr,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Build the application case grid for one workload constructor.
+#[allow(clippy::too_many_arguments)]
+fn app_cases(
+    scale: Scale,
+    make: fn(AppDagParams) -> Workload,
+    parallelism: &[usize],
+    ccrs: &[f64],
+    betas: &[f64],
+    pools: &[usize],
+    deltas: &[f64],
+    fracs: &[f64],
+) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for &n in parallelism {
+        for &ccr in ccrs {
+            for &beta in betas {
+                for &r in pools {
+                    for &dl in deltas {
+                        for &fr in fracs {
+                            for s in 0..scale.seeds() {
+                                let seed = mix_seed(
+                                    mix_seed(n as u64, (ccr * 10.0) as u64 + 7 * r as u64),
+                                    mix_seed((beta * 100.0) as u64 + dl as u64, s),
+                                );
+                                cases.push(Case {
+                                    workload: make(AppDagParams {
+                                        parallelism: n,
+                                        ccr,
+                                        beta,
+                                        omega_dag: 100.0,
+                                    }),
+                                    resources: r,
+                                    delta_interval: Some(dl),
+                                    delta_fraction: fr,
+                                    seed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Default (non-swept) application axes: a light average representative of
+/// Table 5's grid.
+fn app_defaults(scale: Scale) -> (Vec<f64>, Vec<f64>, Vec<usize>, Vec<f64>, Vec<f64>) {
+    match scale {
+        Scale::Smoke => (vec![1.0], vec![0.5], vec![20], vec![400.0], vec![0.10]),
+        Scale::Default => (vec![1.0], vec![0.5], vec![20, 60], vec![400.0, 1200.0], vec![0.10]),
+        Scale::Full => (
+            APP_CCR.to_vec(),
+            BETA.to_vec(),
+            APP_POOL.to_vec(),
+            DELTA.to_vec(),
+            FRACTION.to_vec(),
+        ),
+    }
+}
+
+fn mean_improvement(results: &[CaseResult]) -> (Running, Running, f64) {
+    let mut heft = Running::new();
+    let mut aheft = Running::new();
+    let mut imp = Running::new();
+    for r in results {
+        heft.push(r.heft);
+        aheft.push(r.aheft);
+        imp.push(r.improvement());
+    }
+    (heft, aheft, imp.mean())
+}
+
+// ---------------------------------------------------------------------------
+// Paper artifacts
+// ---------------------------------------------------------------------------
+
+/// Fig. 4/5 — the worked example, with ASCII Gantt charts.
+pub fn fig5() -> Vec<TextTable> {
+    use aheft_workflow::CostGenerator;
+    let dag = sample::fig4_dag();
+    let costs = sample::fig4_costs_initial();
+    let costgen = CostGenerator::new(sample::fig4_r4_column(), 0.0).expect("valid");
+    let dynamics =
+        aheft_gridsim::pool::PoolDynamics::periodic_growth(3, sample::FIG4_R4_ARRIVAL, 1.0 / 3.0)
+            .with_cap(4);
+    let cfg = RunConfig { record_trace: true, ..Default::default() };
+    let heft = run_static_heft_with(&dag, &costs, &costgen, &dynamics, 1, &cfg);
+    let aheft = run_aheft_with(&dag, &costs, &costgen, &dynamics, 1, &cfg);
+    let pinned_cfg = RunConfig {
+        aheft: AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() },
+        record_trace: true,
+        ..Default::default()
+    };
+    let pinned = run_aheft_with(&dag, &costs, &costgen, &dynamics, 1, &pinned_cfg);
+
+    let mut t = TextTable::new(
+        "Fig. 5 — worked example (r4 joins at t=15)",
+        &["strategy", "makespan", "evaluations", "reschedules"],
+    );
+    t.row(vec!["HEFT (static)".into(), mk(heft.makespan), "0".into(), "0".into()]);
+    t.row(vec![
+        "AHEFT (abort running)".into(),
+        mk(aheft.makespan),
+        aheft.evaluations.to_string(),
+        aheft.reschedules.to_string(),
+    ]);
+    t.row(vec![
+        "AHEFT (pin running)".into(),
+        mk(pinned.makespan),
+        pinned.evaluations.to_string(),
+        pinned.reschedules.to_string(),
+    ]);
+    t.note = format!(
+        "paper: HEFT 80, AHEFT 76. Our candidates at t=15 are 81/80 (see EXPERIMENTS.md); \
+         the accept-if-better rule keeps the 80 plan. Gantt (HEFT):\n{}",
+        heft.trace.gantt(&dag, 3, 60)
+    );
+    vec![t]
+}
+
+/// §4.2 headline — average makespans of HEFT, AHEFT and dynamic Min-Min
+/// over the random-DAG campaign.
+pub fn headline(scale: Scale) -> TextTable {
+    let cases = random_cases(scale, None, None);
+    let results = run_cases(&cases, true);
+    let mut heft = Running::new();
+    let mut aheft = Running::new();
+    let mut minmin = Running::new();
+    for r in &results {
+        heft.push(r.heft);
+        aheft.push(r.aheft);
+        minmin.push(r.minmin.expect("headline runs min-min"));
+    }
+    let mut t = TextTable::new(
+        "§4.2 headline — average makespan over random DAGs",
+        &["strategy", "avg makespan", "vs HEFT"],
+    );
+    t.row(vec!["HEFT".into(), mk(heft.mean()), "-".into()]);
+    t.row(vec![
+        "AHEFT".into(),
+        mk(aheft.mean()),
+        pct(aheft_core::metrics::improvement_rate(heft.mean(), aheft.mean())),
+    ]);
+    t.row(vec![
+        "Min-Min (dynamic)".into(),
+        mk(minmin.mean()),
+        pct(aheft_core::metrics::improvement_rate(heft.mean(), minmin.mean())),
+    ]);
+    t.note = format!(
+        "paper: HEFT 4075, AHEFT 3911, Min-Min 12352 ({} cases here; paper used 500,000)",
+        results.len()
+    );
+    t
+}
+
+/// Table 3 — improvement rate of AHEFT over HEFT vs CCR (random DAGs).
+pub fn table3(scale: Scale) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 3 — improvement rate vs CCR (random DAGs)",
+        &["CCR", "HEFT", "AHEFT", "improvement"],
+    );
+    let mut total = 0;
+    for &ccr in &CCR {
+        let cases = random_cases(scale, Some(ccr), None);
+        total += cases.len();
+        let results = run_cases(&cases, false);
+        let (h, a, imp) = mean_improvement(&results);
+        t.row(vec![format!("{ccr}"), mk(h.mean()), mk(a.mean()), pct(imp)]);
+    }
+    t.note = format!(
+        "paper: 0.4% / 0.5% / 0.7% / 3.2% / 7.7% — improvement rises with CCR ({total} cases)"
+    );
+    t
+}
+
+/// Table 4 — improvement rate vs total number of jobs (random DAGs).
+pub fn table4(scale: Scale) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 4 — improvement rate vs number of jobs (random DAGs)",
+        &["jobs", "HEFT", "AHEFT", "improvement"],
+    );
+    let mut total = 0;
+    for &v in &JOBS {
+        let cases = random_cases(scale, None, Some(v));
+        total += cases.len();
+        let results = run_cases(&cases, false);
+        let (h, a, imp) = mean_improvement(&results);
+        t.row(vec![v.to_string(), mk(h.mean()), mk(a.mean()), pct(imp)]);
+    }
+    t.note = format!(
+        "paper: 2.9% / 3.9% / 4.3% / 4.2% / 4.1% — jumps then stabilises ({total} cases)"
+    );
+    t
+}
+
+/// Table 6 — average makespan and improvement for BLAST and WIEN2K.
+pub fn table6(scale: Scale) -> TextTable {
+    let (ccrs, betas, pools, deltas, fracs) = app_defaults(scale);
+    let mut t = TextTable::new(
+        "Table 6 — BLAST / WIEN2K average makespan",
+        &["application", "HEFT", "AHEFT", "improvement"],
+    );
+    let mut total = 0;
+    for (name, make) in
+        [("BLAST", Workload::Blast as fn(AppDagParams) -> Workload), ("WIEN2K", Workload::Wien2k)]
+    {
+        let cases = app_cases(
+            scale,
+            make,
+            &scale.app_parallelism(),
+            &ccrs,
+            &betas,
+            &pools,
+            &deltas,
+            &fracs,
+        );
+        total += cases.len();
+        let results = run_cases(&cases, false);
+        let (h, a, imp) = mean_improvement(&results);
+        t.row(vec![name.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
+    }
+    t.note = format!(
+        "paper: BLAST 4939->3933 (20.4%), WIEN2K 3452->3234 (6.3%) ({total} cases)"
+    );
+    t
+}
+
+/// Table 7 — improvement rate vs parallelism for BLAST and WIEN2K.
+pub fn table7(scale: Scale) -> TextTable {
+    let (ccrs, betas, pools, deltas, fracs) = app_defaults(scale);
+    let mut t = TextTable::new(
+        "Table 7 — improvement rate vs number of jobs (applications)",
+        &["parallelism", "BLAST", "WIEN2K"],
+    );
+    for &n in &scale.app_parallelism() {
+        let mut cells = vec![n.to_string()];
+        for make in
+            [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k]
+        {
+            let cases =
+                app_cases(scale, make, &[n], &ccrs, &betas, &pools, &deltas, &fracs);
+            let results = run_cases(&cases, false);
+            let (_, _, imp) = mean_improvement(&results);
+            cells.push(pct(imp));
+        }
+        t.row(cells);
+    }
+    t.note = "paper: BLAST 15.9->23.6% rising; WIEN2K 2.2->9.4% rising".into();
+    t
+}
+
+/// Table 8 — improvement rate vs CCR for BLAST and WIEN2K.
+pub fn table8(scale: Scale) -> TextTable {
+    let (_, betas, pools, deltas, fracs) = app_defaults(scale);
+    let mut t = TextTable::new(
+        "Table 8 — improvement rate vs CCR (applications)",
+        &["CCR", "BLAST", "WIEN2K"],
+    );
+    for &ccr in &APP_CCR {
+        let mut cells = vec![format!("{ccr}")];
+        for make in
+            [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k]
+        {
+            let cases = app_cases(
+                scale,
+                make,
+                &scale.app_parallelism(),
+                &[ccr],
+                &betas,
+                &pools,
+                &deltas,
+                &fracs,
+            );
+            let results = run_cases(&cases, false);
+            let (_, _, imp) = mean_improvement(&results);
+            cells.push(pct(imp));
+        }
+        t.row(cells);
+    }
+    t.note = "paper: BLAST 16.1/15.5/14.3/19.1/26.1%; WIEN2K 7.3/7.3/6.6/5.3/6.4%".into();
+    t
+}
+
+/// Fig. 8 — average makespan of HEFT1/AHEFT1 (BLAST) and HEFT2/AHEFT2
+/// (WIEN2K) against one swept parameter (`which` in `'a'..='f'`).
+pub fn fig8(scale: Scale, which: char) -> TextTable {
+    // Defaults for the non-swept axes.
+    let default_n = match scale {
+        Scale::Smoke => 50,
+        _ => 200,
+    };
+    let base = AppDagParams { parallelism: default_n, ccr: 1.0, beta: 0.5, omega_dag: 100.0 };
+    let (def_r, def_delta, def_frac) = (20usize, 400.0f64, 0.10f64);
+
+    let (title, xlabel, xs): (&str, &str, Vec<f64>) = match which {
+        'a' => ("Fig. 8(a) — makespan vs CCR", "CCR", APP_CCR.to_vec()),
+        'b' => ("Fig. 8(b) — makespan vs beta", "beta", BETA.to_vec()),
+        'c' => (
+            "Fig. 8(c) — makespan vs number of jobs",
+            "parallelism",
+            scale.app_parallelism().iter().map(|&n| n as f64).collect(),
+        ),
+        'd' => (
+            "Fig. 8(d) — makespan vs initial resource pool",
+            "R",
+            APP_POOL.iter().map(|&r| r as f64).collect(),
+        ),
+        'e' => ("Fig. 8(e) — makespan vs change interval", "delta", DELTA.to_vec()),
+        'f' => ("Fig. 8(f) — makespan vs change fraction", "fraction", FRACTION.to_vec()),
+        _ => panic!("fig8 sub-figure must be a..f"),
+    };
+
+    let mut t = TextTable::new(title, &[xlabel, "HEFT1", "AHEFT1", "HEFT2", "AHEFT2"]);
+    for &x in &xs {
+        let mut params = base;
+        let (mut r, mut dl, mut fr) = (def_r, def_delta, def_frac);
+        match which {
+            'a' => params.ccr = x,
+            'b' => params.beta = x,
+            'c' => params.parallelism = x as usize,
+            'd' => r = x as usize,
+            'e' => dl = x,
+            'f' => fr = x,
+            _ => unreachable!(),
+        }
+        let mut cells = vec![format!("{x}")];
+        for make in
+            [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k]
+        {
+            let mut cases = Vec::new();
+            for s in 0..scale.seeds().max(2) {
+                cases.push(Case {
+                    workload: make(params),
+                    resources: r,
+                    delta_interval: Some(dl),
+                    delta_fraction: fr,
+                    seed: mix_seed((x * 1000.0) as u64 + which as u64, s),
+                });
+            }
+            let results = run_cases(&cases, false);
+            let (h, a, _) = mean_improvement(&results);
+            cells.push(mk(h.mean()));
+            cells.push(mk(a.mean()));
+        }
+        t.row(cells);
+    }
+    t.note = "series: HEFT1/AHEFT1 = BLAST, HEFT2/AHEFT2 = WIEN2K (paper Fig. 8)".into();
+    t
+}
+
+/// Design-choice ablations (ours; DESIGN.md §4).
+pub fn ablations(scale: Scale) -> Vec<TextTable> {
+    let seeds = scale.seeds().max(2);
+    let n = match scale {
+        Scale::Smoke => 30,
+        _ => 100,
+    };
+    let mut out = Vec::new();
+
+    // 1. Insertion vs end-of-queue slot policy (HEFT on random DAGs).
+    let mut t1 = TextTable::new(
+        "Ablation — slot policy (static HEFT, random DAGs)",
+        &["policy", "avg makespan"],
+    );
+    for (name, policy) in
+        [("insertion (HEFT [19])", SlotPolicy::Insertion), ("end-of-queue (Fig. 3)", SlotPolicy::EndOfQueue)]
+    {
+        let mut acc = Running::new();
+        for s in 0..seeds * 8 {
+            let case = Case {
+                workload: Workload::Random(RandomDagParams {
+                    jobs: n,
+                    ..RandomDagParams::paper_default()
+                }),
+                resources: 10,
+                delta_interval: None,
+                delta_fraction: 0.0,
+                seed: mix_seed(901, s),
+            };
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
+            let wf = case.workload.generate(&mut rng);
+            let costs = wf.sample_table(case.resources, &mut rng);
+            let cfg = RunConfig {
+                aheft: AheftConfig { slot_policy: policy, ..Default::default() },
+                ..Default::default()
+            };
+            let rep =
+                run_static_heft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
+            acc.push(rep.makespan);
+        }
+        t1.row(vec![name.into(), mk(acc.mean())]);
+    }
+    out.push(t1);
+
+    // 2. Abort-and-restart vs pin-running at reschedule.
+    let mut t2 = TextTable::new(
+        "Ablation — running jobs at reschedule (AHEFT, BLAST)",
+        &["mode", "avg makespan", "avg reschedules"],
+    );
+    for (name, set) in [
+        ("abort running (paper text)", ReschedulableSet::AllUnfinished),
+        ("pin running", ReschedulableSet::NotStarted),
+    ] {
+        let mut acc = Running::new();
+        let mut res = Running::new();
+        for s in 0..seeds * 4 {
+            let case = Case {
+                workload: Workload::Blast(AppDagParams {
+                    parallelism: n,
+                    ..AppDagParams::paper_default()
+                }),
+                resources: 10,
+                delta_interval: Some(400.0),
+                delta_fraction: 0.25,
+                seed: mix_seed(902, s),
+            };
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
+            let wf = case.workload.generate(&mut rng);
+            let costs = wf.sample_table(case.resources, &mut rng);
+            let cfg = RunConfig {
+                aheft: AheftConfig { reschedulable: set, ..Default::default() },
+                ..Default::default()
+            };
+            let rep = run_aheft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
+            acc.push(rep.makespan);
+            res.push(rep.reschedules as f64);
+        }
+        t2.row(vec![name.into(), mk(acc.mean()), format!("{:.1}", res.mean())]);
+    }
+    out.push(t2);
+
+    // 3. Rescheduling trigger policy.
+    let mut t3 = TextTable::new(
+        "Ablation — rescheduling trigger (AHEFT, BLAST)",
+        &["policy", "avg makespan", "avg evaluations"],
+    );
+    for (name, policy) in [
+        ("on pool change (paper)", ReschedulePolicy::OnPoolChange),
+        ("periodic 200", ReschedulePolicy::Periodic { period: 200.0 }),
+        ("never (= static)", ReschedulePolicy::Never),
+    ] {
+        let mut acc = Running::new();
+        let mut ev = Running::new();
+        for s in 0..seeds * 4 {
+            let case = Case {
+                workload: Workload::Blast(AppDagParams {
+                    parallelism: n,
+                    ..AppDagParams::paper_default()
+                }),
+                resources: 10,
+                delta_interval: Some(400.0),
+                delta_fraction: 0.25,
+                seed: mix_seed(903, s),
+            };
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
+            let wf = case.workload.generate(&mut rng);
+            let costs = wf.sample_table(case.resources, &mut rng);
+            let cfg = RunConfig { policy, ..Default::default() };
+            let rep = run_aheft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
+            acc.push(rep.makespan);
+            ev.push(rep.evaluations as f64);
+        }
+        t3.row(vec![name.into(), mk(acc.mean()), format!("{:.1}", ev.mean())]);
+    }
+    out.push(t3);
+
+    // 4. Dynamic heuristics.
+    let mut t4 = TextTable::new(
+        "Ablation — dynamic heuristics (random DAGs, CCR=5)",
+        &["heuristic", "avg makespan"],
+    );
+    for (name, h) in [
+        ("Min-Min (paper)", DynamicHeuristic::MinMin),
+        ("Max-Min", DynamicHeuristic::MaxMin),
+        ("Sufferage", DynamicHeuristic::Sufferage),
+    ] {
+        let mut acc = Running::new();
+        for s in 0..seeds * 4 {
+            let case = Case {
+                workload: Workload::Random(RandomDagParams {
+                    jobs: n.min(60),
+                    ccr: 5.0,
+                    ..RandomDagParams::paper_default()
+                }),
+                resources: 10,
+                delta_interval: Some(400.0),
+                delta_fraction: 0.10,
+                seed: mix_seed(904, s),
+            };
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
+            let wf = case.workload.generate(&mut rng);
+            let costs = wf.sample_table(case.resources, &mut rng);
+            let rep = run_dynamic(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, h);
+            acc.push(rep.makespan);
+        }
+        t4.row(vec![name.into(), mk(acc.mean())]);
+    }
+    out.push(t4);
+
+    // 5. Improvement by DAG shape (narrowing vs wide vs bottlenecked).
+    let mut t5 = TextTable::new(
+        "Ablation — improvement rate by DAG shape",
+        &["shape", "HEFT", "AHEFT", "improvement"],
+    );
+    for (name, make) in [
+        ("BLAST (wide)", Workload::Blast as fn(AppDagParams) -> Workload),
+        ("WIEN2K (bottlenecked)", Workload::Wien2k),
+        ("Montage (mixed)", Workload::Montage),
+        ("Gauss (narrowing)", Workload::Gauss),
+    ] {
+        let mut cases = Vec::new();
+        for s in 0..seeds * 4 {
+            cases.push(Case {
+                workload: make(AppDagParams {
+                    parallelism: n.min(60),
+                    ..AppDagParams::paper_default()
+                }),
+                resources: 10,
+                delta_interval: Some(400.0),
+                delta_fraction: 0.25,
+                seed: mix_seed(905, s),
+            });
+        }
+        let results = run_cases(&cases, false);
+        let (h, a, imp) = mean_improvement(&results);
+        t5.row(vec![name.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
+    }
+    out.push(t5);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_keeps_extremes() {
+        assert_eq!(strided(&[1, 2, 3, 4, 5], Scale::Default), vec![1, 3, 5]);
+        assert_eq!(strided(&[1, 2, 3, 4, 5], Scale::Smoke), vec![1, 5]);
+        assert_eq!(strided(&[1, 2, 3, 4, 5], Scale::Full), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_case_grid_is_nonempty_and_pinnable() {
+        let all = random_cases(Scale::Smoke, None, None);
+        assert!(!all.is_empty());
+        let pinned = random_cases(Scale::Smoke, Some(5.0), Some(20));
+        for c in &pinned {
+            match c.workload {
+                Workload::Random(p) => {
+                    assert_eq!(p.ccr, 5.0);
+                    assert_eq!(p.jobs, 20);
+                }
+                _ => panic!("random grid produced a non-random case"),
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_reports_three_strategies() {
+        let tables = fig5();
+        assert_eq!(tables[0].rows.len(), 3);
+        assert_eq!(tables[0].rows[0][1], "80");
+    }
+}

@@ -1,0 +1,200 @@
+//! Case definition and parallel sweep execution.
+//!
+//! A [`Case`] is one simulated grid scenario: a workload (random / BLAST /
+//! WIEN2K / Montage / Gauss, with its parameters), an initial pool `R`, a
+//! resource-change model `(Δ, δ)`, and a seed. [`run_case`] executes the
+//! strategies on *the same* generated grid (identical DAG, identical cost
+//! table, identical late-arrival columns), which is the paper's paired
+//! methodology. Sweeps fan out over [`aheft_parcomp::par_map`].
+
+use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft};
+use aheft_core::DynamicHeuristic;
+use aheft_gridsim::pool::PoolDynamics;
+use aheft_workflow::generators::blast::AppDagParams;
+use aheft_workflow::generators::random::RandomDagParams;
+use aheft_workflow::generators::{blast, gauss, montage, random, wien2k, GeneratedWorkflow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which workload generator a case uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Parametric random DAG (§4.2).
+    Random(RandomDagParams),
+    /// BLAST (§4.3).
+    Blast(AppDagParams),
+    /// WIEN2K (§4.3).
+    Wien2k(AppDagParams),
+    /// Montage-like (ablations).
+    Montage(AppDagParams),
+    /// Gaussian elimination (ablations).
+    Gauss(AppDagParams),
+}
+
+impl Workload {
+    /// Generate the workflow for this case.
+    pub fn generate(&self, rng: &mut StdRng) -> GeneratedWorkflow {
+        match self {
+            Workload::Random(p) => random::generate(p, rng),
+            Workload::Blast(p) => blast::generate(p, rng),
+            Workload::Wien2k(p) => wien2k::generate(p, rng),
+            Workload::Montage(p) => montage::generate(p, rng),
+            Workload::Gauss(p) => gauss::generate(p, rng),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Random(_) => "random",
+            Workload::Blast(_) => "BLAST",
+            Workload::Wien2k(_) => "WIEN2K",
+            Workload::Montage(_) => "Montage",
+            Workload::Gauss(_) => "Gauss",
+        }
+    }
+}
+
+/// One grid scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Case {
+    /// The workload generator and its parameters.
+    pub workload: Workload,
+    /// Initial resource pool size `R`.
+    pub resources: usize,
+    /// Resource change interval `Δ` (`None` = static pool).
+    pub delta_interval: Option<f64>,
+    /// Resource change fraction `δ`.
+    pub delta_fraction: f64,
+    /// Master seed: drives DAG generation, cost sampling and late arrivals.
+    pub seed: u64,
+}
+
+impl Case {
+    /// The pool dynamics of this case.
+    pub fn dynamics(&self) -> PoolDynamics {
+        match self.delta_interval {
+            Some(iv) => PoolDynamics::periodic_growth(self.resources, iv, self.delta_fraction),
+            None => PoolDynamics::fixed(self.resources),
+        }
+    }
+}
+
+/// Makespans of the three strategies on one case (same grid for all).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Static HEFT makespan.
+    pub heft: f64,
+    /// Adaptive AHEFT makespan.
+    pub aheft: f64,
+    /// Dynamic Min-Min makespan (`None` when not requested).
+    pub minmin: Option<f64>,
+    /// Accepted reschedules in the AHEFT run.
+    pub reschedules: usize,
+    /// Jobs in the DAG.
+    pub jobs: usize,
+}
+
+impl CaseResult {
+    /// The paper's improvement rate of AHEFT over HEFT.
+    pub fn improvement(&self) -> f64 {
+        aheft_core::metrics::improvement_rate(self.heft, self.aheft)
+    }
+}
+
+/// Execute one case. `with_minmin` also runs the dynamic baseline (it can
+/// be an order of magnitude slower on data-intensive cases, exactly as the
+/// paper reports, so tables that do not need it skip it).
+pub fn run_case(case: &Case, with_minmin: bool) -> CaseResult {
+    let mut rng = StdRng::seed_from_u64(case.seed);
+    let wf = case.workload.generate(&mut rng);
+    let costs = wf.sample_table(case.resources, &mut rng);
+    let dynamics = case.dynamics();
+    let heft = run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, case.seed);
+    let aheft = run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, case.seed);
+    let minmin = with_minmin.then(|| {
+        run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, case.seed, DynamicHeuristic::MinMin)
+            .makespan
+    });
+    CaseResult {
+        heft: heft.makespan,
+        aheft: aheft.makespan,
+        minmin,
+        reschedules: aheft.reschedules,
+        jobs: wf.dag.job_count(),
+    }
+}
+
+/// Run many cases in parallel, preserving order.
+pub fn run_cases(cases: &[Case], with_minmin: bool) -> Vec<CaseResult> {
+    aheft_parcomp::par_map(cases, aheft_parcomp::default_threads(), |c| {
+        run_case(c, with_minmin)
+    })
+}
+
+/// Mix two seed components into one master seed (splitmix-style), so case
+/// grids get decorrelated streams.
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b)
+        .wrapping_add(0xD1B54A32D192ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_case(seed: u64) -> Case {
+        Case {
+            workload: Workload::Random(RandomDagParams {
+                jobs: 20,
+                ..RandomDagParams::paper_default()
+            }),
+            resources: 4,
+            delta_interval: Some(400.0),
+            delta_fraction: 0.25,
+            seed,
+        }
+    }
+
+    #[test]
+    fn case_is_deterministic() {
+        let c = small_case(3);
+        let a = run_case(&c, true);
+        let b = run_case(&c, true);
+        assert_eq!(a.heft, b.heft);
+        assert_eq!(a.aheft, b.aheft);
+        assert_eq!(a.minmin, b.minmin);
+    }
+
+    #[test]
+    fn aheft_never_loses_in_harness() {
+        for seed in 0..10 {
+            let r = run_case(&small_case(seed), false);
+            assert!(r.aheft <= r.heft + 1e-6, "seed {seed}: {r:?}");
+            assert!(r.improvement() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let cases: Vec<Case> = (0..8).map(small_case).collect();
+        let par = run_cases(&cases, false);
+        let seq: Vec<CaseResult> = cases.iter().map(|c| run_case(c, false)).collect();
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.heft, s.heft);
+            assert_eq!(p.aheft, s.aheft);
+        }
+    }
+
+    #[test]
+    fn mix_seed_spreads() {
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 1));
+        assert_ne!(mix_seed(0, 0), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # aheft-bench
+//!
+//! Experiment harness regenerating every table and figure of Yu & Shi
+//! (IPPS 2007). The `experiments` binary dispatches to one function per
+//! artifact:
+//!
+//! | paper artifact | function | shape reproduced |
+//! |---|---|---|
+//! | Fig. 5 worked example | [`experiments::fig5`] | HEFT = 80; AHEFT candidate at t=15 |
+//! | §4.2 headline averages | [`experiments::headline`] | AHEFT ≤ HEFT ≪ Min-Min |
+//! | Table 3 | [`experiments::table3`] | improvement rises with CCR |
+//! | Table 4 | [`experiments::table4`] | improvement rises then stabilises with v |
+//! | Table 6 | [`experiments::table6`] | BLAST improvement > WIEN2K improvement |
+//! | Table 7 | [`experiments::table7`] | improvement rises with v for both apps |
+//! | Table 8 | [`experiments::table8`] | BLAST improvement rises with CCR; WIEN2K flat |
+//! | Fig. 8(a)–(f) | [`experiments::fig8`] | four series vs CCR/β/v/R/Δ/δ |
+//! | ablations (ours) | [`experiments::ablations`] | slot policy, abort-vs-pin, policies, dynamic heuristics |
+//!
+//! The paper's full campaign is 500,000 random-DAG cases plus an
+//! application campaign; [`scale::Scale`] selects a stratified subsample
+//! (`smoke` for CI, `default` for minutes-scale runs, `full` for the
+//! complete grid). Every table prints the case count it used.
+
+pub mod experiments;
+pub mod harness;
+pub mod scale;
+pub mod tables;

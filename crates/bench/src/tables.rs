@@ -1,0 +1,132 @@
+//! Text-table formatting and CSV persistence for experiment outputs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple aligned text table with a title and an optional note carrying
+/// the paper's reference values.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Table title (e.g. `"Table 3 — improvement rate vs CCR"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Footnote (paper reference values, case counts).
+    pub note: String,
+}
+
+impl TextTable {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{c:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(100)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        if !self.note.is_empty() {
+            let _ = writeln!(out, "   {}", self.note);
+        }
+        out
+    }
+
+    /// Write the table as CSV to `dir/name.csv` (creates `dir`).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut csv = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(csv, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        fs::write(dir.join(format!("{name}.csv")), csv)
+    }
+}
+
+/// Format a rate as a percentage with one decimal, paper-style.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a makespan with no decimals, paper-style.
+pub fn mk(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo", &["x", "value"]);
+        t.row(vec!["1".into(), "10.0".into()]);
+        t.row(vec!["100".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("value"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("aheft_tables_test");
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row(vec!["1,5".into(), "x".into()]);
+        t.write_csv(&dir, "t").unwrap();
+        let s = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(s.contains("\"1,5\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.204), "20.4%");
+        assert_eq!(mk(4939.3), "4939");
+    }
+}

@@ -1,0 +1,401 @@
+//! AHEFT — the paper's HEFT-based adaptive rescheduling algorithm (§3.4).
+//!
+//! [`aheft_reschedule`] implements the `schedule(S0, P, H)` procedure of the
+//! paper's Fig. 3 over an execution [`Snapshot`] taken at the rescheduling
+//! instant `clock`:
+//!
+//! 1. compute `rank_u` for the remaining jobs against the *current* pool,
+//! 2. walk the jobs in non-increasing rank order,
+//! 3. for each job evaluate `EFT(n_i, r_j, S0, clock, R)` on every alive
+//!    resource, where the earliest start honours the **FEA** cases of
+//!    Eq. 1:
+//!    * *Case 1* — the predecessor finished and its output file is already
+//!      on `r_j` (or a committed transfer will deliver it at a known time):
+//!      the file's availability time;
+//!    * *Case 2* — the predecessor finished but no transfer to `r_j`
+//!      exists: retransmit now, `clock + c_{m,i}`;
+//!    * *Case 3 / otherwise* — the predecessor is itself (re)scheduled:
+//!      its new `SFT`, plus `c_{m,i}` when placed on a different resource;
+//! 4. assign the job to the EFT-minimising resource.
+//!
+//! With the initial snapshot (`clock = 0`, nothing executed) the procedure
+//! is *identical to HEFT* — the paper's observation at the end of §3.4 — and
+//! [`crate::heft::heft_schedule`] is exactly that specialization.
+//!
+//! Jobs already **running** at `clock` are handled per
+//! [`ReschedulableSet`]: the paper's Fig. 5 walk-through reschedules "all
+//! jobs but n1" (i.e. running jobs may be aborted and restarted), which is
+//! [`ReschedulableSet::AllUnfinished`]; [`ReschedulableSet::NotStarted`]
+//! pins running jobs to their resources instead (DESIGN.md §4.2).
+
+use std::collections::HashMap;
+
+use aheft_gridsim::executor::Snapshot;
+use aheft_gridsim::plan::{Assignment, Plan};
+use aheft_gridsim::reservation::{SlotPolicy, SlotTable};
+use aheft_workflow::rank::{priority_order_from_ranks, rank_upward_over};
+use aheft_workflow::{CostTable, Dag, JobId, ResourceId};
+use serde::{Deserialize, Serialize};
+
+/// Which not-yet-finished jobs a reschedule may move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReschedulableSet {
+    /// Paper semantics: every unfinished job is rescheduled; running jobs
+    /// are aborted (their progress is lost) and restarted per the new plan.
+    #[default]
+    AllUnfinished,
+    /// Conservative semantics: running jobs finish where they are; only
+    /// waiting jobs are rescheduled.
+    NotStarted,
+}
+
+/// AHEFT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AheftConfig {
+    /// Slot search policy; [`SlotPolicy::Insertion`] reproduces HEFT \[19\].
+    pub slot_policy: SlotPolicy,
+    /// Treatment of running jobs at reschedule time.
+    pub reschedulable: ReschedulableSet,
+}
+
+/// Result of one (re)scheduling pass.
+#[derive(Debug, Clone)]
+pub struct RescheduleOutcome {
+    /// The new plan `S1`, covering exactly the rescheduled jobs.
+    pub plan: Plan,
+    /// Predicted completion time of the *whole* DAG under `S1`: max over
+    /// scheduled `SFT`s, pinned running jobs' expected finishes and already
+    /// finished jobs' `AFT`s (paper Eq. 4).
+    pub predicted_makespan: f64,
+}
+
+/// Run one AHEFT scheduling pass over `snapshot`.
+///
+/// `alive` lists the resources currently in the pool (cost-table columns of
+/// departed resources are skipped). For the initial schedule pass
+/// [`Snapshot::initial`] and the full resource list.
+///
+/// # Panics
+/// Panics if `alive` is empty or references columns outside the cost table.
+pub fn aheft_reschedule(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+) -> RescheduleOutcome {
+    assert!(!alive.is_empty(), "cannot schedule on an empty resource pool");
+    let clock = snapshot.clock;
+    let total_resources = costs.resource_count();
+
+    // Earliest availability floor per resource: never before `clock`, and
+    // never before what the Resource Manager reported.
+    let mut floor = vec![f64::INFINITY; total_resources];
+    for &r in alive {
+        let reported = snapshot.resource_avail.get(r.idx()).copied().unwrap_or(clock);
+        floor[r.idx()] = reported.max(clock);
+    }
+
+    // Pinned running jobs (NotStarted mode): they keep their resource and
+    // expected finish, and block their resource until then.
+    let mut pinned: HashMap<JobId, (ResourceId, f64)> = HashMap::new();
+    if config.reschedulable == ReschedulableSet::NotStarted {
+        for (&job, &(r, _ast, expected_finish)) in &snapshot.running {
+            pinned.insert(job, (r, expected_finish));
+            if r.idx() < floor.len() {
+                floor[r.idx()] = floor[r.idx()].max(expected_finish);
+            }
+        }
+    }
+
+    // Paper Fig. 3, lines 2-3: upward ranks against the current pool, jobs
+    // sorted by non-increasing rank (a topological order).
+    let ranks = rank_upward_over(dag, costs, alive);
+    let order = priority_order_from_ranks(dag, &ranks);
+
+    let mut tables: Vec<SlotTable> = vec![SlotTable::new(); total_resources];
+    let mut placed: HashMap<JobId, (ResourceId, f64)> = HashMap::new(); // job -> (resource, SFT)
+    let mut assignments = Vec::new();
+
+    for &job in &order {
+        if snapshot.is_finished(job) || pinned.contains_key(&job) {
+            continue;
+        }
+        let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
+        for &r in alive {
+            let w = costs.comp(job, r);
+            // Inner max of Eq. 2: all input files present on r.
+            let mut ready = clock;
+            for &(p, e) in dag.preds(job) {
+                let t = fea(snapshot, costs, &pinned, &placed, p, e, r, clock);
+                if t > ready {
+                    ready = t;
+                }
+            }
+            let start =
+                tables[r.idx()].earliest_start(ready.max(floor[r.idx()]), w, config.slot_policy);
+            let eft = start + w;
+            // Strict `<` with in-order iteration = deterministic lowest-id
+            // tie-break, matching HEFT's first-minimum selection.
+            if best.is_none_or(|(b, _, _)| eft < b) {
+                best = Some((eft, start, r));
+            }
+        }
+        let (eft, start, r) = best.expect("alive is non-empty");
+        tables[r.idx()].reserve(start, eft - start, job);
+        placed.insert(job, (r, eft));
+        assignments.push(Assignment { job, resource: r, start, finish: eft });
+    }
+
+    // Predicted whole-DAG makespan (Eq. 4 over every job's completion).
+    let mut predicted = assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
+    for &(_, aft) in snapshot.finished.values() {
+        predicted = predicted.max(aft);
+    }
+    for &(_, ef) in pinned.values() {
+        predicted = predicted.max(ef);
+    }
+
+    RescheduleOutcome { plan: Plan::from_assignments(clock, assignments), predicted_makespan: predicted }
+}
+
+/// Eq. 1 — earliest time `p`'s output file is available on `r` for a
+/// consumer, after `S0` executed up to `clock`.
+#[inline]
+fn fea(
+    snapshot: &Snapshot,
+    costs: &CostTable,
+    pinned: &HashMap<JobId, (ResourceId, f64)>,
+    placed: &HashMap<JobId, (ResourceId, f64)>,
+    p: JobId,
+    e: aheft_workflow::EdgeId,
+    r: ResourceId,
+    clock: f64,
+) -> f64 {
+    if snapshot.finished.contains_key(&p) {
+        match snapshot.edge_data_available(p, e, r) {
+            // Case 1: the file is on r, or a committed transfer delivers it
+            // at a known time (includes the producer having run on r).
+            Some(t) => t,
+            // Case 2: the file must be (re)transmitted, starting now.
+            None => clock + costs.comm(e),
+        }
+    } else if let Some(&(rp, expected_finish)) = pinned.get(&p) {
+        // Case 3 / otherwise for a pinned running predecessor.
+        if rp == r {
+            expected_finish
+        } else {
+            expected_finish + costs.comm(e)
+        }
+    } else {
+        // Case 3 / otherwise: the predecessor is in the new schedule; rank
+        // order guarantees it was placed before this job.
+        let &(rp, sft) = placed
+            .get(&p)
+            .expect("rank_u order schedules predecessors before successors");
+        if rp == r {
+            sft
+        } else {
+            sft + costs.comm(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aheft_workflow::sample;
+    use aheft_workflow::DagBuilder;
+
+    fn fig4() -> (Dag, CostTable) {
+        (sample::fig4_dag(), sample::fig4_costs_initial())
+    }
+
+    fn alive(n: usize) -> Vec<ResourceId> {
+        (0..n).map(ResourceId::from).collect()
+    }
+
+    #[test]
+    fn initial_schedule_reproduces_heft_80() {
+        // Paper Fig. 5(a): HEFT on r1..r3 gives makespan 80.
+        let (dag, costs) = fig4();
+        let out = aheft_reschedule(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            &AheftConfig::default(),
+        );
+        assert!(out.plan.validate(&dag, &costs).is_empty());
+        assert!(
+            (out.predicted_makespan - 80.0).abs() < 1e-9,
+            "expected makespan 80, got {}",
+            out.predicted_makespan
+        );
+    }
+
+    #[test]
+    fn end_of_queue_policy_is_no_better() {
+        let (dag, costs) = fig4();
+        let cfg = AheftConfig { slot_policy: SlotPolicy::EndOfQueue, ..Default::default() };
+        let out = aheft_reschedule(&dag, &costs, &Snapshot::initial(3), &alive(3), &cfg);
+        assert!(out.plan.validate(&dag, &costs).is_empty());
+        assert!(out.predicted_makespan >= 80.0 - 1e-9);
+    }
+
+    #[test]
+    fn schedule_covers_all_jobs_initially() {
+        let (dag, costs) = fig4();
+        let out = aheft_reschedule(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            &AheftConfig::default(),
+        );
+        assert_eq!(out.plan.len(), dag.job_count());
+        // Every job's finish = start + w on its resource.
+        for a in out.plan.assignments() {
+            let w = costs.comp(a.job, a.resource);
+            assert!((a.finish - a.start - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reschedule_excludes_finished_jobs() {
+        let (dag, costs) = fig4();
+        // Simulate: n1 finished on r3 at t=9 (its HEFT placement), clock 15.
+        let mut snap = Snapshot::initial(3);
+        snap.clock = 15.0;
+        snap.finished.insert(JobId(0), (ResourceId(2), 9.0));
+        snap.resource_avail = vec![15.0, 15.0, 15.0];
+        let out = aheft_reschedule(&dag, &costs, &snap, &alive(3), &AheftConfig::default());
+        assert_eq!(out.plan.len(), dag.job_count() - 1);
+        assert!(out.plan.assignment(JobId(0)).is_none());
+        // Nothing may start before the clock.
+        for a in out.plan.assignments() {
+            assert!(a.start >= 15.0 - 1e-9, "{} starts at {}", a.job, a.start);
+        }
+    }
+
+    #[test]
+    fn case2_retransmits_from_clock() {
+        // Two jobs a -> b; a finished on r0 at t=5; file only on r0.
+        // Scheduling b on r1 must wait clock + c, not aft + c.
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 10.0).unwrap();
+        let dag = b.build().unwrap();
+        // r0 slow for b (100), r1 fast (10): b goes to r1 via retransmission.
+        let costs =
+            CostTable::from_dag_comm(&dag, vec![vec![5.0, 5.0], vec![100.0, 10.0]], 1.0).unwrap();
+        let mut snap = Snapshot::initial(2);
+        snap.clock = 50.0;
+        snap.finished.insert(a, (ResourceId(0), 5.0));
+        snap.resource_avail = vec![50.0, 50.0];
+        let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &AheftConfig::default());
+        let asg = out.plan.assignment(c).unwrap();
+        assert_eq!(asg.resource, ResourceId(1));
+        // Case 2: file retransmitted at clock 50, arrives 60, EFT 70.
+        assert!((asg.start - 60.0).abs() < 1e-9);
+        assert!((asg.finish - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case1_uses_in_flight_transfer() {
+        // As above but a transfer to r1 is already in flight, arriving at 52.
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 10.0).unwrap();
+        let dag = b.build().unwrap();
+        let costs =
+            CostTable::from_dag_comm(&dag, vec![vec![5.0, 5.0], vec![100.0, 10.0]], 1.0).unwrap();
+        let mut snap = Snapshot::initial(2);
+        snap.clock = 50.0;
+        snap.finished.insert(a, (ResourceId(0), 5.0));
+        snap.transfers.insert((aheft_workflow::EdgeId(0), ResourceId(1)), 52.0); // in flight
+        snap.resource_avail = vec![50.0, 50.0];
+        let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &AheftConfig::default());
+        let asg = out.plan.assignment(c).unwrap();
+        assert_eq!(asg.resource, ResourceId(1));
+        assert!((asg.start - 52.0).abs() < 1e-9, "start {}", asg.start);
+    }
+
+    #[test]
+    fn pinned_running_jobs_block_their_resource() {
+        // a running on r0 until t=30 (pinned); b (independent) should either
+        // go to r1 or wait until 30 on r0.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_job("a");
+        let b = bld.add_job("b");
+        let _ = a;
+        let dag = bld.build().unwrap();
+        let costs =
+            CostTable::from_dag_comm(&dag, vec![vec![20.0, 20.0], vec![10.0, 50.0]], 1.0).unwrap();
+        let mut snap = Snapshot::initial(2);
+        snap.clock = 10.0;
+        snap.running.insert(a, (ResourceId(0), 10.0, 30.0));
+        snap.resource_avail = vec![10.0, 10.0];
+        let cfg = AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() };
+        let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &cfg);
+        // Only b is scheduled; a is pinned.
+        assert_eq!(out.plan.len(), 1);
+        let asg = out.plan.assignment(b).unwrap();
+        // r0: start 30 (after pinned a), EFT 40. r1: start 10, EFT 60.
+        assert_eq!(asg.resource, ResourceId(0));
+        assert!((asg.start - 30.0).abs() < 1e-9);
+        // Predicted makespan covers the pinned job too.
+        assert!(out.predicted_makespan >= 30.0);
+    }
+
+    #[test]
+    fn all_unfinished_aborts_and_restarts_running_jobs() {
+        // Same setup, paper semantics: a is rescheduled from scratch.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_job("a");
+        let _b = bld.add_job("b");
+        let dag = bld.build().unwrap();
+        let costs =
+            CostTable::from_dag_comm(&dag, vec![vec![20.0, 20.0], vec![10.0, 50.0]], 1.0).unwrap();
+        let mut snap = Snapshot::initial(2);
+        snap.clock = 10.0;
+        snap.running.insert(a, (ResourceId(0), 10.0, 30.0));
+        snap.resource_avail = vec![10.0, 10.0];
+        let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &AheftConfig::default());
+        // Both jobs are in the new plan; a restarts at or after clock.
+        assert_eq!(out.plan.len(), 2);
+        let asg = out.plan.assignment(a).unwrap();
+        assert!(asg.start >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn respects_alive_subset() {
+        let (dag, costs_full) = (sample::fig4_dag(), sample::fig4_costs_full());
+        // Schedule with r4's column present but only r1..r3 alive: must
+        // never use r4.
+        let out = aheft_reschedule(
+            &dag,
+            &costs_full,
+            &Snapshot::initial(4),
+            &alive(3),
+            &AheftConfig::default(),
+        );
+        assert!(out.plan.assignments().iter().all(|a| a.resource.idx() < 3));
+        assert!((out.predicted_makespan - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty resource pool")]
+    fn empty_pool_panics() {
+        let (dag, costs) = fig4();
+        let _ = aheft_reschedule(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &[],
+            &AheftConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # aheft-core
+//!
+//! The schedulers of the reproduction:
+//!
+//! * [`heft`] — static HEFT (Topcuoglu et al. \[19\]), insertion-based by
+//!   default, as the traditional full-plan-ahead baseline,
+//! * [`aheft`] — the paper's contribution: HEFT-based **adaptive
+//!   rescheduling** with the clock-aware `FEA`/`EST`/`EFT` equations
+//!   (Eqs. 1–3) that schedule the *remaining* jobs of a partially executed
+//!   workflow,
+//! * [`minmin`] — dynamic just-in-time baselines (Min-Min as in the paper,
+//!   plus Max-Min and Sufferage),
+//! * [`planner`] — the Planner of Fig. 1: event subscription, reschedule
+//!   evaluation and the accept-if-better rule of the generic algorithm
+//!   (Fig. 2),
+//! * [`runner`] — the Planner/Executor collaboration loop: executes a
+//!   workflow on the `aheft-gridsim` substrate under pool dynamics and
+//!   returns a [`runner::RunReport`],
+//! * [`whatif`] — the "What…if…" evaluation API sketched in §3.3 (predicted
+//!   makespan when a resource is added/removed),
+//! * [`metrics`] — makespan, SLR, speedup, improvement rate, utilization.
+
+pub mod aheft;
+pub mod heft;
+pub mod metrics;
+pub mod minmin;
+pub mod planner;
+pub mod runner;
+pub mod schedule;
+pub mod whatif;
+
+pub use aheft::{aheft_reschedule, AheftConfig, ReschedulableSet, RescheduleOutcome};
+pub use heft::{heft_schedule, HeftConfig};
+pub use minmin::DynamicHeuristic;
+pub use planner::{AdaptivePlanner, ReschedulePolicy};
+pub use runner::{run_aheft, run_dynamic, run_static_heft, RunReport};
+pub use schedule::Schedule;
+
+// Re-export the slot policy so downstream users configure schedulers without
+// importing the substrate crate.
+pub use aheft_gridsim::reservation::SlotPolicy;

@@ -1,0 +1,244 @@
+//! The adaptive Planner of the paper's Fig. 1/Fig. 2.
+//!
+//! [`AdaptivePlanner`] owns the current schedule `S0` and implements the
+//! generic adaptive rescheduling loop body:
+//!
+//! ```text
+//! 5.  P  = estimate(T, R)          — Predictor (exact in the experiments)
+//! 6.  S1 = schedule(S0, P, H)      — AHEFT pass over the snapshot
+//! 7.  if (S0 == null OR S0.makespan > S1.makespan)
+//! 8.      S0 = S1;  9. submit S0
+//! ```
+//!
+//! [`ReschedulePolicy`] decides *which* events trigger an evaluation: the
+//! paper evaluates on every resource-pool change; the Sakellariou-Zhao
+//! low-cost policy \[14\] and a periodic variant are provided for the
+//! ablation benches.
+
+use aheft_gridsim::event::Event;
+use aheft_gridsim::executor::Snapshot;
+use aheft_workflow::{CostTable, Dag, ResourceId};
+use serde::{Deserialize, Serialize};
+
+use crate::aheft::{aheft_reschedule, AheftConfig, RescheduleOutcome};
+use crate::schedule::all_resources;
+
+/// When the planner evaluates a reschedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ReschedulePolicy {
+    /// Evaluate on every resource-pool change (the paper's strategy).
+    #[default]
+    OnPoolChange,
+    /// Evaluate on pool changes *and* performance-variance notifications.
+    OnAnyPlannerEvent,
+    /// Evaluate at fixed wall-clock intervals (selected-points policy in the
+    /// spirit of Sakellariou & Zhao \[14\]).
+    Periodic {
+        /// Evaluation period in simulation time units.
+        period: f64,
+    },
+    /// Never reschedule — degrades AHEFT to static HEFT (used by tests to
+    /// show the two coincide).
+    Never,
+}
+
+
+impl ReschedulePolicy {
+    /// Does `event` trigger an evaluation under this policy?
+    pub fn triggers(&self, event: &Event) -> bool {
+        match self {
+            ReschedulePolicy::OnPoolChange => matches!(
+                event,
+                Event::ResourcesJoined { .. } | Event::ResourceLeft { .. }
+            ),
+            ReschedulePolicy::OnAnyPlannerEvent => event.interests_planner(),
+            ReschedulePolicy::Periodic { .. } => matches!(event, Event::Wake),
+            ReschedulePolicy::Never => false,
+        }
+    }
+}
+
+/// Decision returned by one planner evaluation.
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// `S1` is better: replace `S0` and resubmit.
+    Replace(RescheduleOutcome),
+    /// `S0` stands; the candidate's predicted makespan is reported for
+    /// tracing.
+    Keep {
+        /// Candidate `S1` predicted makespan that failed to improve.
+        candidate_makespan: f64,
+    },
+}
+
+/// Planner state across one workflow execution.
+#[derive(Debug, Clone)]
+pub struct AdaptivePlanner {
+    /// AHEFT scheduling configuration.
+    pub config: AheftConfig,
+    /// Evaluation trigger policy.
+    pub policy: ReschedulePolicy,
+    current_predicted: f64,
+    evaluations: usize,
+    accepted: usize,
+}
+
+impl AdaptivePlanner {
+    /// New planner with the paper's defaults (evaluate on pool change).
+    pub fn new(config: AheftConfig, policy: ReschedulePolicy) -> Self {
+        Self { config, policy, current_predicted: f64::INFINITY, evaluations: 0, accepted: 0 }
+    }
+
+    /// Produce the initial full schedule (identical to HEFT) and remember
+    /// its predicted makespan as `S0.makespan`.
+    pub fn initial_plan(&mut self, dag: &Dag, costs: &CostTable) -> RescheduleOutcome {
+        let out = aheft_reschedule(
+            dag,
+            costs,
+            &Snapshot::initial(costs.resource_count()),
+            &all_resources(costs),
+            &self.config,
+        );
+        self.current_predicted = out.predicted_makespan;
+        out
+    }
+
+    /// Whether `event` should trigger [`AdaptivePlanner::evaluate`].
+    pub fn should_evaluate(&self, event: &Event) -> bool {
+        self.policy.triggers(event)
+    }
+
+    /// Evaluate a reschedule against the current plan (Fig. 2 lines 5–10).
+    pub fn evaluate(
+        &mut self,
+        dag: &Dag,
+        costs: &CostTable,
+        snapshot: &Snapshot,
+        alive: &[ResourceId],
+    ) -> Decision {
+        self.evaluations += 1;
+        let out = aheft_reschedule(dag, costs, snapshot, alive, &self.config);
+        if out.predicted_makespan < self.current_predicted - 1e-9 {
+            self.current_predicted = out.predicted_makespan;
+            self.accepted += 1;
+            Decision::Replace(out)
+        } else {
+            Decision::Keep { candidate_makespan: out.predicted_makespan }
+        }
+    }
+
+    /// Predicted makespan of the current plan `S0`.
+    pub fn current_predicted(&self) -> f64 {
+        self.current_predicted
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Number of accepted replacements.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aheft_workflow::sample;
+
+    #[test]
+    fn policy_triggers() {
+        let ev_join = Event::ResourcesJoined { count: 1 };
+        let ev_var = Event::PerformanceVariance {
+            job: aheft_workflow::JobId(0),
+            resource: ResourceId(0),
+        };
+        assert!(ReschedulePolicy::OnPoolChange.triggers(&ev_join));
+        assert!(!ReschedulePolicy::OnPoolChange.triggers(&ev_var));
+        assert!(ReschedulePolicy::OnAnyPlannerEvent.triggers(&ev_var));
+        assert!(!ReschedulePolicy::Never.triggers(&ev_join));
+        assert!(ReschedulePolicy::Periodic { period: 10.0 }.triggers(&Event::Wake));
+    }
+
+    #[test]
+    fn initial_plan_sets_s0_makespan() {
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
+        let out = planner.initial_plan(&dag, &costs);
+        assert!((out.predicted_makespan - 80.0).abs() < 1e-9);
+        assert!((planner.current_predicted() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_keeps_plan_when_nothing_changed() {
+        // Re-evaluating at clock 0 with the same pool cannot improve on the
+        // initial schedule.
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
+        planner.initial_plan(&dag, &costs);
+        let snap = Snapshot::initial(3);
+        let alive = all_resources(&costs);
+        match planner.evaluate(&dag, &costs, &snap, &alive) {
+            Decision::Keep { candidate_makespan } => {
+                assert!((candidate_makespan - 80.0).abs() < 1e-9);
+            }
+            Decision::Replace(_) => panic!("identical conditions must not replace the plan"),
+        }
+        assert_eq!(planner.evaluations(), 1);
+        assert_eq!(planner.accepted(), 0);
+    }
+
+    #[test]
+    fn evaluate_replaces_when_pool_grows() {
+        // Eight independent unit-cost jobs on one resource: makespan 8·10.
+        // Doubling the (homogeneous) pool at clock 0 halves it; the planner
+        // must accept.
+        let mut b = aheft_workflow::DagBuilder::new();
+        for i in 0..8 {
+            b.add_job(format!("j{i}"));
+        }
+        let dag = b.build().unwrap();
+        let costs1 =
+            aheft_workflow::CostTable::from_dag_comm(&dag, vec![vec![10.0]; 8], 1.0).unwrap();
+        let mut costs2 = costs1.clone();
+        costs2.add_resource(&[10.0; 8]).unwrap();
+
+        let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
+        let initial = planner.initial_plan(&dag, &costs1);
+        assert!((initial.predicted_makespan - 80.0).abs() < 1e-9);
+        match planner.evaluate(&dag, &costs2, &Snapshot::initial(2), &all_resources(&costs2)) {
+            Decision::Replace(out) => {
+                assert!((out.predicted_makespan - 40.0).abs() < 1e-9);
+                assert_eq!(planner.accepted(), 1);
+                assert!((planner.current_predicted() - 40.0).abs() < 1e-9);
+            }
+            Decision::Keep { .. } => panic!("doubling a homogeneous pool must improve"),
+        }
+    }
+
+    #[test]
+    fn evaluate_rejects_rank_shifted_regression() {
+        // The Fig. 4 counter-example: r4's column makes the *candidate*
+        // worse (87 > 80); the accept-if-better rule must keep S0.
+        let dag = sample::fig4_dag();
+        let costs3 = sample::fig4_costs_initial();
+        let costs4 = sample::fig4_costs_full();
+        let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
+        planner.initial_plan(&dag, &costs3);
+        match planner.evaluate(&dag, &costs4, &Snapshot::initial(4), &all_resources(&costs4)) {
+            Decision::Keep { candidate_makespan } => {
+                assert!(candidate_makespan > 80.0);
+                assert!((planner.current_predicted() - 80.0).abs() < 1e-9);
+            }
+            Decision::Replace(out) => panic!(
+                "candidate {} must not replace the better current plan",
+                out.predicted_makespan
+            ),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic discrete-event queue.
+//!
+//! The Rust replacement for the SimJava core the paper ran its dynamic
+//! simulations on: a priority queue of timestamped events with a strictly
+//! monotone clock and a stable FIFO tie-break for simultaneous events
+//! (insertion sequence), so runs are exactly reproducible.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::event::Event;
+use crate::time::SimTime;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Future-event list with a logical clock.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    clock: SimTime,
+    processed: u64,
+}
+
+impl EventQueue {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, clock: SimTime::ZERO, processed: 0 }
+    }
+
+    /// Current simulation clock: the timestamp of the last popped event.
+    #[inline]
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past (`at < clock`): the simulation is
+    /// causal.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        assert!(
+            at >= self.clock,
+            "cannot schedule event at {at} before clock {}",
+            self.clock
+        );
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { time: at, seq: self.seq, event }));
+    }
+
+    /// Schedule `event` after a relative `delay`.
+    pub fn schedule_in(&mut self, delay: f64, event: Event) {
+        let at = self.clock + SimTime::new(delay);
+        self.schedule(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.time >= self.clock, "event queue went backwards");
+        self.clock = s.time;
+        self.processed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Drop all pending events matching `pred` (e.g. cancelling the wake-ups
+    /// of a replaced plan).
+    pub fn cancel_if(&mut self, pred: impl Fn(&Event) -> bool) {
+        let kept: Vec<_> =
+            self.heap.drain().filter(|Reverse(s)| !pred(&s.event)).collect();
+        self.heap = kept.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aheft_workflow::JobId;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), Event::Wake);
+        q.schedule(SimTime::new(1.0), Event::JobFinished { job: JobId(0) });
+        q.schedule(SimTime::new(3.0), Event::JobFinished { job: JobId(1) });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.value()).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), Event::JobFinished { job: JobId(7) });
+        q.schedule(SimTime::new(2.0), Event::JobFinished { job: JobId(8) });
+        let (_, e1) = q.pop().unwrap();
+        let (_, e2) = q.pop().unwrap();
+        assert_eq!(e1, Event::JobFinished { job: JobId(7) });
+        assert_eq!(e2, Event::JobFinished { job: JobId(8) });
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(4.0, Event::Wake);
+        assert_eq!(q.clock(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.clock(), SimTime::new(4.0));
+        q.schedule_in(1.5, Event::Wake);
+        assert_eq!(q.peek_time(), Some(SimTime::new(5.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before clock")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), Event::Wake);
+        q.pop();
+        q.schedule(SimTime::new(1.0), Event::Wake);
+    }
+
+    #[test]
+    fn cancel_if_filters_pending() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(1.0), Event::Wake);
+        q.schedule(SimTime::new(2.0), Event::JobFinished { job: JobId(0) });
+        q.cancel_if(|e| matches!(e, Event::Wake));
+        assert_eq!(q.pending(), 1);
+        assert!(matches!(q.pop().unwrap().1, Event::JobFinished { .. }));
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulation events.
+//!
+//! These are the run-time events of the paper's Fig. 1 architecture: job
+//! completions and file arrivals flow from the Execution Manager, resource
+//! arrivals/departures from the Resource Manager, and performance-variance
+//! notifications from the Performance Monitor. The Planner subscribes to
+//! the subset it cares about (paper §3.3: *Resource Pool Change* and
+//! *Resource Performance Variance*).
+
+use aheft_workflow::{JobId, ResourceId};
+use serde::{Deserialize, Serialize};
+
+/// A discrete event in the grid simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A job finished executing on its resource.
+    JobFinished { job: JobId },
+    /// The output file of `producer` arrived on resource `to`.
+    TransferArrived { producer: JobId, to: ResourceId },
+    /// `count` new resources joined the pool (Resource Pool Change).
+    ResourcesJoined { count: u32 },
+    /// A resource left the pool / failed (Resource Pool Change).
+    ResourceLeft { resource: ResourceId },
+    /// A job's actual runtime deviated from its estimate by more than the
+    /// monitor's threshold (Resource Performance Variance).
+    PerformanceVariance { job: JobId, resource: ResourceId },
+    /// Generic wake-up used by periodic rescheduling policies.
+    Wake,
+}
+
+impl Event {
+    /// True for the events the paper's adaptive planner subscribes to.
+    pub fn interests_planner(&self) -> bool {
+        matches!(
+            self,
+            Event::ResourcesJoined { .. }
+                | Event::ResourceLeft { .. }
+                | Event::PerformanceVariance { .. }
+                | Event::Wake
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_interest_set() {
+        assert!(Event::ResourcesJoined { count: 1 }.interests_planner());
+        assert!(Event::ResourceLeft { resource: ResourceId(0) }.interests_planner());
+        assert!(!Event::JobFinished { job: JobId(0) }.interests_planner());
+        assert!(!Event::TransferArrived { producer: JobId(0), to: ResourceId(0) }
+            .interests_planner());
+    }
+}

@@ -1,0 +1,377 @@
+//! Execution Manager state: job lifecycle, file ledger, and planner
+//! snapshots.
+//!
+//! [`ExecState`] tracks each job through `Waiting → Running → Finished`
+//! (with `Running → Waiting` aborts for the paper's reschedule-everything
+//! semantics) and keeps the **file ledger**. A producer's output is
+//! available on its own resource from its `AFT`; every cross-resource copy
+//! is a *per-edge* transfer (edge `(m, i)` carries its own volume
+//! `data_{m,i}`), recorded when the transfer is initiated — in-flight
+//! arrivals are known because transfer durations are deterministic. This is
+//! exactly the information the paper's Eq. 1 (`FEA`) cases distinguish.
+//!
+//! [`Snapshot`] freezes this state at a rescheduling instant (`clock` in
+//! the paper's notation) for the AHEFT planner.
+
+use std::collections::HashMap;
+
+use aheft_workflow::{Dag, EdgeId, JobId, ResourceId};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Not yet started (possibly not yet ready).
+    Waiting,
+    /// Executing on `resource` since `ast`, expected to finish at
+    /// `expected_finish`.
+    Running { resource: ResourceId, ast: f64, expected_finish: f64 },
+    /// Finished on `resource`; `ast`/`aft` are the actual start/finish times
+    /// of the paper's Table 1.
+    Finished { resource: ResourceId, ast: f64, aft: f64 },
+}
+
+/// Mutable execution state of one workflow run.
+#[derive(Debug, Clone)]
+pub struct ExecState {
+    states: Vec<JobState>,
+    /// `transfers[(e, r)]` — earliest arrival of edge `e`'s data on
+    /// resource `r` (committed/in-flight transfers).
+    transfers: HashMap<(EdgeId, ResourceId), f64>,
+    finished: usize,
+}
+
+impl ExecState {
+    /// Fresh state for a DAG of `jobs` jobs.
+    pub fn new(jobs: usize) -> Self {
+        Self { states: vec![JobState::Waiting; jobs], transfers: HashMap::new(), finished: 0 }
+    }
+
+    /// Current state of `job`.
+    #[inline]
+    pub fn state(&self, job: JobId) -> JobState {
+        self.states[job.idx()]
+    }
+
+    /// True if `job` has finished.
+    #[inline]
+    pub fn is_finished(&self, job: JobId) -> bool {
+        matches!(self.states[job.idx()], JobState::Finished { .. })
+    }
+
+    /// True if `job` is waiting (not started or aborted).
+    #[inline]
+    pub fn is_waiting(&self, job: JobId) -> bool {
+        matches!(self.states[job.idx()], JobState::Waiting)
+    }
+
+    /// Resource and actual finish time of a finished job.
+    pub fn finished_on(&self, job: JobId) -> Option<(ResourceId, f64)> {
+        match self.states[job.idx()] {
+            JobState::Finished { resource, aft, .. } => Some((resource, aft)),
+            _ => None,
+        }
+    }
+
+    /// Number of finished jobs.
+    #[inline]
+    pub fn finished_count(&self) -> usize {
+        self.finished
+    }
+
+    /// True when every job has finished.
+    #[inline]
+    pub fn all_finished(&self) -> bool {
+        self.finished == self.states.len()
+    }
+
+    /// Actual finish time of the whole workflow so far (max `AFT`).
+    pub fn makespan(&self) -> f64 {
+        self.states
+            .iter()
+            .map(|s| match s {
+                JobState::Finished { aft, .. } => *aft,
+                _ => 0.0,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Mark `job` started on `resource` at `now` with `duration`.
+    ///
+    /// # Panics
+    /// Panics if the job is not `Waiting`.
+    pub fn start(&mut self, job: JobId, resource: ResourceId, now: f64, duration: f64) -> f64 {
+        assert!(
+            self.is_waiting(job),
+            "{job} started while in state {:?}",
+            self.states[job.idx()]
+        );
+        let expected_finish = now + duration;
+        self.states[job.idx()] = JobState::Running { resource, ast: now, expected_finish };
+        expected_finish
+    }
+
+    /// Mark `job` finished at `now`. Its output is implicitly available on
+    /// its own resource from `now`.
+    ///
+    /// # Panics
+    /// Panics if the job is not `Running`.
+    pub fn finish(&mut self, job: JobId, now: f64) -> ResourceId {
+        let JobState::Running { resource, ast, .. } = self.states[job.idx()] else {
+            panic!("{job} finished while in state {:?}", self.states[job.idx()]);
+        };
+        self.states[job.idx()] = JobState::Finished { resource, ast, aft: now };
+        self.finished += 1;
+        resource
+    }
+
+    /// Abort a running job (AHEFT reschedule-everything semantics): progress
+    /// is lost, the job returns to `Waiting`. Returns the resource it was
+    /// running on, or `None` if it was not running.
+    pub fn abort(&mut self, job: JobId) -> Option<ResourceId> {
+        if let JobState::Running { resource, .. } = self.states[job.idx()] {
+            self.states[job.idx()] = JobState::Waiting;
+            Some(resource)
+        } else {
+            None
+        }
+    }
+
+    /// Record that edge `e`'s data will be available on `resource` at
+    /// `arrival`. An earlier existing entry wins (a duplicate transfer
+    /// cannot make the data *later*).
+    pub fn record_transfer(&mut self, e: EdgeId, resource: ResourceId, arrival: f64) {
+        self.transfers
+            .entry((e, resource))
+            .and_modify(|t| *t = t.min(arrival))
+            .or_insert(arrival);
+    }
+
+    /// True if a transfer of edge `e` towards `resource` is committed
+    /// (completed or in flight).
+    pub fn transfer_exists(&self, e: EdgeId, resource: ResourceId) -> bool {
+        self.transfers.contains_key(&(e, resource))
+    }
+
+    /// Earliest availability on `resource` of the data carried by edge `e`
+    /// from `producer`: the producer's own `AFT` when it finished there,
+    /// else the committed transfer arrival (possibly in the future), else
+    /// `None`.
+    pub fn edge_data_available(
+        &self,
+        producer: JobId,
+        e: EdgeId,
+        resource: ResourceId,
+    ) -> Option<f64> {
+        if let JobState::Finished { resource: home, aft, .. } = self.states[producer.idx()] {
+            if home == resource {
+                return Some(aft);
+            }
+        }
+        self.transfers.get(&(e, resource)).copied()
+    }
+
+    /// True if every predecessor of `job` has finished and its edge data is
+    /// on `resource` by `now`.
+    pub fn inputs_ready_on(&self, dag: &Dag, job: JobId, resource: ResourceId, now: f64) -> bool {
+        dag.preds(job).iter().all(|&(p, e)| {
+            self.is_finished(p)
+                && self
+                    .edge_data_available(p, e, resource)
+                    .is_some_and(|t| t <= now + 1e-9)
+        })
+    }
+
+    /// Freeze the state for the planner.
+    ///
+    /// `resource_avail[j]` must give the earliest time resource `j` is free
+    /// for new work (≥ clock; the Resource Manager derives it from its
+    /// reservations and any pinned running job).
+    pub fn snapshot(&self, clock: f64, resource_avail: Vec<f64>) -> Snapshot {
+        let mut finished = HashMap::new();
+        let mut running = HashMap::new();
+        for (i, s) in self.states.iter().enumerate() {
+            match *s {
+                JobState::Finished { resource, aft, .. } => {
+                    finished.insert(JobId::from(i), (resource, aft));
+                }
+                JobState::Running { resource, ast, expected_finish } => {
+                    running.insert(JobId::from(i), (resource, ast, expected_finish));
+                }
+                JobState::Waiting => {}
+            }
+        }
+        Snapshot {
+            clock,
+            finished,
+            running,
+            transfers: self.transfers.clone(),
+            resource_avail,
+        }
+    }
+}
+
+/// Frozen execution state at a rescheduling instant — everything the AHEFT
+/// equations (paper Eqs. 1–3) read.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The rescheduling instant (`clock`).
+    pub clock: f64,
+    /// Finished jobs: `job → (resource, AFT)`.
+    pub finished: HashMap<JobId, (ResourceId, f64)>,
+    /// Running jobs: `job → (resource, AST, expected finish)`.
+    pub running: HashMap<JobId, (ResourceId, f64, f64)>,
+    /// Committed transfers at `clock` (includes in-flight arrivals), keyed
+    /// by `(edge, destination)`.
+    pub transfers: HashMap<(EdgeId, ResourceId), f64>,
+    /// Earliest availability of each resource (indexed by resource id).
+    pub resource_avail: Vec<f64>,
+}
+
+impl Snapshot {
+    /// The initial-scheduling snapshot: clock 0, nothing executed,
+    /// `resources` all free at 0.
+    pub fn initial(resources: usize) -> Self {
+        Self {
+            clock: 0.0,
+            finished: HashMap::new(),
+            running: HashMap::new(),
+            transfers: HashMap::new(),
+            resource_avail: vec![0.0; resources],
+        }
+    }
+
+    /// Number of resources visible to the planner.
+    pub fn resource_count(&self) -> usize {
+        self.resource_avail.len()
+    }
+
+    /// True if `job` already finished.
+    pub fn is_finished(&self, job: JobId) -> bool {
+        self.finished.contains_key(&job)
+    }
+
+    /// Earliest availability of edge `e`'s data (produced by `producer`) on
+    /// `resource`: see [`ExecState::edge_data_available`].
+    pub fn edge_data_available(
+        &self,
+        producer: JobId,
+        e: EdgeId,
+        resource: ResourceId,
+    ) -> Option<f64> {
+        if let Some(&(home, aft)) = self.finished.get(&producer) {
+            if home == resource {
+                return Some(aft);
+            }
+        }
+        self.transfers.get(&(e, resource)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aheft_workflow::DagBuilder;
+
+    fn pair_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lifecycle_start_finish() {
+        let mut s = ExecState::new(2);
+        let ft = s.start(JobId(0), ResourceId(1), 0.0, 10.0);
+        assert_eq!(ft, 10.0);
+        assert!(matches!(s.state(JobId(0)), JobState::Running { .. }));
+        let r = s.finish(JobId(0), 10.0);
+        assert_eq!(r, ResourceId(1));
+        assert!(s.is_finished(JobId(0)));
+        assert_eq!(s.finished_count(), 1);
+        assert!(!s.all_finished());
+        assert_eq!(s.finished_on(JobId(0)), Some((ResourceId(1), 10.0)));
+        // Output is on its own resource at finish time.
+        assert_eq!(s.edge_data_available(JobId(0), EdgeId(0), ResourceId(1)), Some(10.0));
+        assert_eq!(s.makespan(), 10.0);
+    }
+
+    #[test]
+    fn abort_returns_to_waiting() {
+        let mut s = ExecState::new(1);
+        s.start(JobId(0), ResourceId(0), 5.0, 10.0);
+        assert_eq!(s.abort(JobId(0)), Some(ResourceId(0)));
+        assert!(s.is_waiting(JobId(0)));
+        assert_eq!(s.abort(JobId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "started while in state")]
+    fn double_start_panics() {
+        let mut s = ExecState::new(1);
+        s.start(JobId(0), ResourceId(0), 0.0, 1.0);
+        s.start(JobId(0), ResourceId(0), 0.5, 1.0);
+    }
+
+    #[test]
+    fn record_transfer_keeps_earliest() {
+        let mut s = ExecState::new(1);
+        s.record_transfer(EdgeId(0), ResourceId(2), 20.0);
+        s.record_transfer(EdgeId(0), ResourceId(2), 15.0);
+        s.record_transfer(EdgeId(0), ResourceId(2), 30.0);
+        assert_eq!(s.transfers.get(&(EdgeId(0), ResourceId(2))), Some(&15.0));
+        assert!(s.transfer_exists(EdgeId(0), ResourceId(2)));
+        assert!(!s.transfer_exists(EdgeId(0), ResourceId(3)));
+    }
+
+    #[test]
+    fn inputs_ready_requires_edge_data_on_target() {
+        let dag = pair_dag();
+        let mut s = ExecState::new(2);
+        s.start(JobId(0), ResourceId(0), 0.0, 10.0);
+        s.finish(JobId(0), 10.0);
+        // On the producing resource: ready at 10.
+        assert!(s.inputs_ready_on(&dag, JobId(1), ResourceId(0), 10.0));
+        // On another resource: not until a transfer is recorded.
+        assert!(!s.inputs_ready_on(&dag, JobId(1), ResourceId(1), 10.0));
+        s.record_transfer(EdgeId(0), ResourceId(1), 14.0);
+        assert!(!s.inputs_ready_on(&dag, JobId(1), ResourceId(1), 12.0));
+        assert!(s.inputs_ready_on(&dag, JobId(1), ResourceId(1), 14.0));
+    }
+
+    #[test]
+    fn unfinished_pred_blocks_readiness() {
+        let dag = pair_dag();
+        let mut s = ExecState::new(2);
+        s.start(JobId(0), ResourceId(0), 0.0, 10.0);
+        assert!(!s.inputs_ready_on(&dag, JobId(1), ResourceId(0), 20.0));
+    }
+
+    #[test]
+    fn snapshot_partitions_job_states() {
+        let mut s = ExecState::new(3);
+        s.start(JobId(0), ResourceId(0), 0.0, 5.0);
+        s.finish(JobId(0), 5.0);
+        s.start(JobId(1), ResourceId(1), 5.0, 10.0);
+        let snap = s.snapshot(8.0, vec![8.0, 15.0]);
+        assert_eq!(snap.clock, 8.0);
+        assert_eq!(snap.finished.get(&JobId(0)), Some(&(ResourceId(0), 5.0)));
+        assert_eq!(snap.running.get(&JobId(1)), Some(&(ResourceId(1), 5.0, 15.0)));
+        assert!(!snap.finished.contains_key(&JobId(2)));
+        assert!(snap.is_finished(JobId(0)));
+        assert_eq!(snap.resource_count(), 2);
+        // Edge data availability flows through the snapshot.
+        assert_eq!(snap.edge_data_available(JobId(0), EdgeId(0), ResourceId(0)), Some(5.0));
+        assert_eq!(snap.edge_data_available(JobId(0), EdgeId(0), ResourceId(1)), None);
+    }
+
+    #[test]
+    fn initial_snapshot_is_empty() {
+        let snap = Snapshot::initial(4);
+        assert_eq!(snap.clock, 0.0);
+        assert!(snap.finished.is_empty());
+        assert_eq!(snap.resource_avail, vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Failure injection.
+//!
+//! The paper's §3.3 notes that resource failure is handled by the Execution
+//! Manager's fault tolerance and that *predictable* failures can be
+//! mitigated by rescheduling; its experiments then only exercise resource
+//! additions (§4.1 assumption 3). The substrate nevertheless models
+//! departures so robustness tests and the what-if API can exercise the
+//! "resource removed" path.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Generates resource departure times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// No failures (the paper's experimental setting).
+    None,
+    /// Each resource independently fails once, at a time drawn uniformly
+    /// from `[0, horizon]`, with probability `prob`.
+    UniformOnce {
+        /// Probability that a given resource fails at all.
+        prob: f64,
+        /// Latest possible failure time.
+        horizon: f64,
+    },
+}
+
+impl FailureModel {
+    /// Sample the failure time of one resource (`None` = never fails).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
+        match *self {
+            FailureModel::None => None,
+            FailureModel::UniformOnce { prob, horizon } => {
+                if prob > 0.0 && rng.random_bool(prob.clamp(0.0, 1.0)) {
+                    Some(rng.random_range(0.0..horizon.max(f64::MIN_POSITIVE)))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_fails() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(FailureModel::None.sample(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn uniform_once_respects_horizon_and_prob() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = FailureModel::UniformOnce { prob: 1.0, horizon: 50.0 };
+        for _ in 0..100 {
+            let t = m.sample(&mut rng).expect("prob 1 always fails");
+            assert!((0.0..50.0).contains(&t));
+        }
+        let never = FailureModel::UniformOnce { prob: 0.0, horizon: 50.0 };
+        assert_eq!(never.sample(&mut rng), None);
+    }
+}

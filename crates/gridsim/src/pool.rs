@@ -1,0 +1,172 @@
+//! Dynamic resource pool.
+//!
+//! Models the paper's grid dynamics (§4.2): starting from an initial pool of
+//! `R` resources, every `Δ` time units a batch of `max(1, round(δ·R))` new
+//! resources joins the pool. `Δ` is the *interval of resource change*
+//! (higher = less dynamic grid) and `δ` the *percentage of resource change*
+//! relative to the initial pool. The substrate also supports departures for
+//! the fault-injection extension.
+
+use aheft_workflow::ResourceId;
+use serde::{Deserialize, Serialize};
+
+use crate::resource::Resource;
+
+/// Configuration of pool evolution over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolDynamics {
+    /// Initial pool size `R` (paper sweeps 10..50 random / 20..100 apps).
+    pub initial: usize,
+    /// Interval `Δ` between change events; `None` = static pool.
+    pub interval: Option<f64>,
+    /// Fraction `δ` of the *initial* pool added per change event.
+    pub change_fraction: f64,
+    /// Hard cap on total pool size (prevents unbounded growth in very long
+    /// simulations; `usize::MAX` = unlimited, the paper's setting).
+    pub max_size: usize,
+}
+
+impl PoolDynamics {
+    /// A pool of `initial` resources that never changes (traditional static
+    /// grid assumption).
+    pub fn fixed(initial: usize) -> Self {
+        Self { initial, interval: None, change_fraction: 0.0, max_size: usize::MAX }
+    }
+
+    /// The paper's growth model: `max(1, round(δ·R))` resources join every
+    /// `Δ` time units.
+    pub fn periodic_growth(initial: usize, delta_interval: f64, delta_fraction: f64) -> Self {
+        assert!(delta_interval > 0.0, "change interval must be positive");
+        assert!((0.0..=1.0).contains(&delta_fraction), "δ must be in [0, 1]");
+        Self {
+            initial,
+            interval: Some(delta_interval),
+            change_fraction: delta_fraction,
+            max_size: usize::MAX,
+        }
+    }
+
+    /// Cap the pool at `max` resources.
+    pub fn with_cap(mut self, max: usize) -> Self {
+        self.max_size = max;
+        self
+    }
+
+    /// Number of resources added at each change event.
+    pub fn batch_size(&self) -> usize {
+        if self.interval.is_none() {
+            0
+        } else {
+            ((self.change_fraction * self.initial as f64).round() as usize).max(1)
+        }
+    }
+
+    /// Time of the first change event, if any.
+    pub fn first_event(&self) -> Option<f64> {
+        self.interval
+    }
+}
+
+/// Live pool membership during a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct PoolState {
+    resources: Vec<Resource>,
+}
+
+impl PoolState {
+    /// Start with `initial` resources available at time zero.
+    pub fn new(initial: usize) -> Self {
+        let resources =
+            (0..initial).map(|i| Resource::initial(ResourceId::from(i))).collect();
+        Self { resources }
+    }
+
+    /// Total resources ever seen (alive or departed); equals the number of
+    /// cost-table columns.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Ids of resources alive at time `t`.
+    pub fn alive_at(&self, t: f64) -> Vec<ResourceId> {
+        self.resources.iter().filter(|r| r.alive_at(t)).map(|r| r.id).collect()
+    }
+
+    /// Ids of resources currently alive.
+    pub fn alive(&self) -> Vec<ResourceId> {
+        self.resources.iter().filter(|r| r.alive()).map(|r| r.id).collect()
+    }
+
+    /// Number of currently alive resources.
+    pub fn alive_count(&self) -> usize {
+        self.resources.iter().filter(|r| r.alive()).count()
+    }
+
+    /// Register one resource joining at time `t`; returns its id.
+    pub fn join(&mut self, t: f64) -> ResourceId {
+        let id = ResourceId::from(self.resources.len());
+        self.resources.push(Resource::joining(id, t));
+        id
+    }
+
+    /// Mark `id` as departed at time `t`. Returns `false` if it was already
+    /// gone or unknown.
+    pub fn leave(&mut self, id: ResourceId, t: f64) -> bool {
+        match self.resources.get_mut(id.idx()) {
+            Some(r) if r.alive() => {
+                r.left_at = Some(t);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Metadata of resource `id`.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_pool_never_changes() {
+        let d = PoolDynamics::fixed(10);
+        assert_eq!(d.batch_size(), 0);
+        assert_eq!(d.first_event(), None);
+    }
+
+    #[test]
+    fn batch_size_rounds_and_floors_at_one() {
+        let d = PoolDynamics::periodic_growth(10, 400.0, 0.10);
+        assert_eq!(d.batch_size(), 1);
+        let d = PoolDynamics::periodic_growth(50, 400.0, 0.25);
+        assert_eq!(d.batch_size(), 13); // round(12.5) = 13 (ties away from zero)
+        let d = PoolDynamics::periodic_growth(3, 400.0, 0.10);
+        assert_eq!(d.batch_size(), 1); // floor at one: "new resource is available"
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn growth_rejects_zero_interval() {
+        let _ = PoolDynamics::periodic_growth(10, 0.0, 0.1);
+    }
+
+    #[test]
+    fn pool_state_join_and_leave() {
+        let mut p = PoolState::new(2);
+        assert_eq!(p.alive_count(), 2);
+        let r = p.join(15.0);
+        assert_eq!(r, ResourceId(2));
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.alive_at(10.0).len(), 2);
+        assert_eq!(p.alive_at(20.0).len(), 3);
+        assert!(p.leave(ResourceId(0), 30.0));
+        assert!(!p.leave(ResourceId(0), 31.0));
+        assert_eq!(p.alive_count(), 2);
+        assert_eq!(p.alive(), vec![ResourceId(1), ResourceId(2)]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Advance-reservation slot tables.
+//!
+//! The paper's Executor "supports advance reservation of resources": upon
+//! arrival of a schedule the Resource Manager reserves the mapped slots, and
+//! revokes replaced reservations when a rescheduled plan arrives. The same
+//! data structure also implements HEFT's *insertion-based* policy: a job may
+//! be placed into an idle gap between two reservations if the gap is long
+//! enough and starts no earlier than the job's earliest start time.
+
+use aheft_workflow::JobId;
+use serde::{Deserialize, Serialize};
+
+/// How a scheduler searches a resource's timeline for a start slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SlotPolicy {
+    /// Original HEFT \[19\]: consider idle gaps between existing
+    /// reservations (capacity search). Reproduces Fig. 5(a)'s makespan 80.
+    #[default]
+    Insertion,
+    /// The simplified policy of the paper's Fig. 3 pseudo-code: jobs only
+    /// queue after the last reservation (`avail[j]`).
+    EndOfQueue,
+}
+
+/// One reserved interval on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Reserved start time.
+    pub start: f64,
+    /// Reserved end time.
+    pub end: f64,
+    /// The job holding the reservation.
+    pub job: JobId,
+}
+
+/// A single resource's reservation timeline, kept sorted by start time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SlotTable {
+    slots: Vec<Reservation>,
+}
+
+impl SlotTable {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current reservations in start-time order.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.slots
+    }
+
+    /// Earliest time at which a job of length `dur` can start, not earlier
+    /// than `est`, under `policy`.
+    pub fn earliest_start(&self, est: f64, dur: f64, policy: SlotPolicy) -> f64 {
+        match policy {
+            SlotPolicy::EndOfQueue => est.max(self.avail()),
+            SlotPolicy::Insertion => {
+                // Scan gaps: before the first slot, between consecutive
+                // slots, and after the last one.
+                let mut candidate = est;
+                for r in &self.slots {
+                    if candidate + dur <= r.start + 1e-9 {
+                        // Fits in the gap ending at r.start.
+                        return candidate;
+                    }
+                    candidate = candidate.max(r.end);
+                }
+                candidate
+            }
+        }
+    }
+
+    /// The earliest time after all current reservations (`avail[j]` of the
+    /// paper's Eq. 2).
+    pub fn avail(&self) -> f64 {
+        self.slots.last().map_or(0.0, |r| r.end)
+    }
+
+    /// Reserve `[start, start+dur)` for `job`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the interval overlaps an existing
+    /// reservation — schedulers must only reserve slots returned by
+    /// [`SlotTable::earliest_start`].
+    pub fn reserve(&mut self, start: f64, dur: f64, job: JobId) {
+        let end = start + dur;
+        let pos = self.slots.partition_point(|r| r.start < start);
+        debug_assert!(
+            (pos == 0 || self.slots[pos - 1].end <= start + 1e-9)
+                && (pos == self.slots.len() || end <= self.slots[pos].start + 1e-9),
+            "reservation [{start}, {end}) for {job} overlaps an existing slot"
+        );
+        self.slots.insert(pos, Reservation { start, end, job });
+    }
+
+    /// Revoke the reservation held by `job`, if any. Returns `true` when a
+    /// reservation was removed.
+    pub fn revoke(&mut self, job: JobId) -> bool {
+        let before = self.slots.len();
+        self.slots.retain(|r| r.job != job);
+        self.slots.len() != before
+    }
+
+    /// Revoke every reservation starting at or after `t` (used when a
+    /// rescheduled plan replaces the tail of the old one).
+    pub fn revoke_from(&mut self, t: f64) {
+        self.slots.retain(|r| r.start < t);
+    }
+
+    /// Total reserved time (for utilization metrics).
+    pub fn busy_time(&self) -> f64 {
+        self.slots.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Number of reservations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no reservations exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_of_queue_appends() {
+        let mut t = SlotTable::new();
+        t.reserve(0.0, 10.0, JobId(0));
+        assert_eq!(t.earliest_start(3.0, 5.0, SlotPolicy::EndOfQueue), 10.0);
+        assert_eq!(t.avail(), 10.0);
+    }
+
+    #[test]
+    fn insertion_finds_gap() {
+        let mut t = SlotTable::new();
+        t.reserve(0.0, 4.0, JobId(0));
+        t.reserve(10.0, 5.0, JobId(1));
+        // A 6-unit gap [4, 10): a 5-unit job with est 3 starts at 4.
+        assert_eq!(t.earliest_start(3.0, 5.0, SlotPolicy::Insertion), 4.0);
+        // A 7-unit job does not fit the gap: appended after 15.
+        assert_eq!(t.earliest_start(3.0, 7.0, SlotPolicy::Insertion), 15.0);
+        // est inside the gap shrinks it.
+        assert_eq!(t.earliest_start(6.0, 5.0, SlotPolicy::Insertion), 15.0);
+    }
+
+    #[test]
+    fn insertion_before_first_slot() {
+        let mut t = SlotTable::new();
+        t.reserve(8.0, 2.0, JobId(0));
+        assert_eq!(t.earliest_start(0.0, 8.0, SlotPolicy::Insertion), 0.0);
+        assert_eq!(t.earliest_start(1.0, 8.0, SlotPolicy::Insertion), 10.0);
+    }
+
+    #[test]
+    fn reserve_keeps_sorted_and_revoke_works() {
+        let mut t = SlotTable::new();
+        t.reserve(10.0, 5.0, JobId(1));
+        t.reserve(0.0, 4.0, JobId(0));
+        t.reserve(4.0, 6.0, JobId(2));
+        let starts: Vec<f64> = t.reservations().iter().map(|r| r.start).collect();
+        assert_eq!(starts, vec![0.0, 4.0, 10.0]);
+        assert!(t.revoke(JobId(2)));
+        assert!(!t.revoke(JobId(2)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn revoke_from_drops_tail() {
+        let mut t = SlotTable::new();
+        t.reserve(0.0, 4.0, JobId(0));
+        t.reserve(4.0, 6.0, JobId(1));
+        t.reserve(10.0, 5.0, JobId(2));
+        t.revoke_from(4.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.avail(), 4.0);
+    }
+
+    #[test]
+    fn busy_time_sums_slots() {
+        let mut t = SlotTable::new();
+        t.reserve(0.0, 4.0, JobId(0));
+        t.reserve(6.0, 2.0, JobId(1));
+        assert!((t.busy_time() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_is_rejected_in_debug() {
+        let mut t = SlotTable::new();
+        t.reserve(0.0, 10.0, JobId(0));
+        t.reserve(5.0, 2.0, JobId(1));
+    }
+}

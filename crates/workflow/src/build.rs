@@ -1,0 +1,172 @@
+//! Validated DAG construction.
+
+use crate::error::WorkflowError;
+use crate::graph::{Dag, Edge, EdgeId, Job, OpClass};
+use crate::ids::JobId;
+use crate::topo;
+
+/// Incremental builder for [`Dag`].
+///
+/// ```
+/// use aheft_workflow::{DagBuilder, JobId};
+///
+/// let mut b = DagBuilder::new();
+/// let a = b.add_job("fetch");
+/// let c = b.add_job("analyze");
+/// b.add_edge(a, c, 10.0).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.job_count(), 2);
+/// assert_eq!(dag.entry_jobs(), vec![JobId(0)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    jobs: Vec<Job>,
+    edges: Vec<Edge>,
+}
+
+impl DagBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder pre-sized for `jobs` jobs and `edges` edges.
+    pub fn with_capacity(jobs: usize, edges: usize) -> Self {
+        Self { jobs: Vec::with_capacity(jobs), edges: Vec::with_capacity(edges) }
+    }
+
+    /// Add a job with [`OpClass::UNIQUE`]; returns its id.
+    pub fn add_job(&mut self, name: impl Into<String>) -> JobId {
+        self.add_job_with_class(name, OpClass::UNIQUE)
+    }
+
+    /// Add a job with an explicit operation class; returns its id.
+    pub fn add_job_with_class(&mut self, name: impl Into<String>, op: OpClass) -> JobId {
+        let id = JobId::from(self.jobs.len());
+        self.jobs.push(Job { name: name.into(), op });
+        id
+    }
+
+    /// Number of jobs added so far.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Add a dependency edge `src -> dst` carrying `data` volume.
+    ///
+    /// Rejects self-loops, unknown endpoints, duplicate edges and
+    /// non-finite/negative volumes. Cycle detection is deferred to
+    /// [`DagBuilder::build`].
+    pub fn add_edge(&mut self, src: JobId, dst: JobId, data: f64) -> Result<EdgeId, WorkflowError> {
+        if src.idx() >= self.jobs.len() {
+            return Err(WorkflowError::UnknownJob(src));
+        }
+        if dst.idx() >= self.jobs.len() {
+            return Err(WorkflowError::UnknownJob(dst));
+        }
+        if src == dst {
+            return Err(WorkflowError::SelfLoop(src));
+        }
+        if !data.is_finite() || data < 0.0 {
+            return Err(WorkflowError::InvalidCost(format!(
+                "edge {src} -> {dst} has data volume {data}"
+            )));
+        }
+        if self.edges.iter().any(|e| e.src == src && e.dst == dst) {
+            return Err(WorkflowError::DuplicateEdge(src, dst));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, data });
+        Ok(id)
+    }
+
+    /// Returns `true` if an edge `src -> dst` has already been added.
+    pub fn has_edge(&self, src: JobId, dst: JobId) -> bool {
+        self.edges.iter().any(|e| e.src == src && e.dst == dst)
+    }
+
+    /// Finalize: verify acyclicity, build adjacency and the cached
+    /// topological order.
+    pub fn build(self) -> Result<Dag, WorkflowError> {
+        if self.jobs.is_empty() {
+            return Err(WorkflowError::Empty);
+        }
+        let v = self.jobs.len();
+        let mut succs: Vec<Vec<(JobId, EdgeId)>> = vec![Vec::new(); v];
+        let mut preds: Vec<Vec<(JobId, EdgeId)>> = vec![Vec::new(); v];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            succs[e.src.idx()].push((e.dst, id));
+            preds[e.dst.idx()].push((e.src, id));
+        }
+        let topo = topo::kahn_order(v, &succs, &preds).ok_or(WorkflowError::Cycle)?;
+        let mut topo_pos = vec![0u32; v];
+        for (pos, &j) in topo.iter().enumerate() {
+            topo_pos[j.idx()] = pos as u32;
+        }
+        Ok(Dag { jobs: self.jobs, edges: self.edges, succs, preds, topo, topo_pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        assert_eq!(b.add_edge(a, a, 1.0), Err(WorkflowError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_unknown_job() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        assert_eq!(b.add_edge(a, JobId(9), 1.0), Err(WorkflowError::UnknownJob(JobId(9))));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 1.0).unwrap();
+        assert_eq!(b.add_edge(a, c, 2.0), Err(WorkflowError::DuplicateEdge(a, c)));
+    }
+
+    #[test]
+    fn rejects_negative_or_nan_data() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        assert!(matches!(b.add_edge(a, c, -1.0), Err(WorkflowError::InvalidCost(_))));
+        assert!(matches!(b.add_edge(a, c, f64::NAN), Err(WorkflowError::InvalidCost(_))));
+    }
+
+    #[test]
+    fn rejects_cycle_at_build() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, a, 1.0).unwrap();
+        assert_eq!(b.build().err(), Some(WorkflowError::Cycle));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(DagBuilder::new().build().err(), Some(WorkflowError::Empty));
+    }
+
+    #[test]
+    fn builds_chain() {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..5).map(|i| b.add_job(format!("j{i}"))).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        let d = b.build().unwrap();
+        assert_eq!(d.topo_order().to_vec(), ids);
+    }
+}

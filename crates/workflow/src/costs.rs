@@ -1,0 +1,371 @@
+//! Heterogeneous cost model.
+//!
+//! Follows the model of the paper (inherited from HEFT \[19\]):
+//!
+//! * `w[i][j]` — computation cost of job `n_i` on resource `r_j`. The nominal
+//!   (average) cost `ω_i` of each job is drawn from `U[0, 2·ω_DAG]` and the
+//!   per-resource cost from `ω_i · U[1 − β/2, 1 + β/2]`, where `β` is the
+//!   resource heterogeneity factor.
+//! * `c(i,k)` — communication cost of edge `(i,k)`, paid only when producer
+//!   and consumer run on different resources. The paper's network is uniform
+//!   (no per-link bandwidths), so the cost equals the edge's data volume
+//!   scaled by a global unit cost.
+//!
+//! [`CostTable`] supports appending columns for resources that join the pool
+//! mid-run, which is the central mechanic of the paper's grid dynamics;
+//! [`CostGenerator`] retains the nominal `ω` vector so the new columns are
+//! drawn from the *same* distribution as the original ones.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkflowError;
+use crate::graph::{Dag, EdgeId};
+use crate::ids::{JobId, ResourceId};
+
+/// Computation and communication cost matrices for one DAG on one
+/// (growable) resource pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostTable {
+    /// `comp[i][j]` — cost of job `i` on resource `j`.
+    comp: Vec<Vec<f64>>,
+    /// `comm[e]` — cost of edge `e` when endpoints are on different resources.
+    comm: Vec<f64>,
+    resources: usize,
+}
+
+impl CostTable {
+    /// Build from explicit matrices. `comp` must have one row per job with
+    /// equal lengths; costs must be finite and non-negative.
+    pub fn new(comp: Vec<Vec<f64>>, comm: Vec<f64>) -> Result<Self, WorkflowError> {
+        let resources = comp.first().map_or(0, |r| r.len());
+        for (i, row) in comp.iter().enumerate() {
+            if row.len() != resources {
+                return Err(WorkflowError::DimensionMismatch(format!(
+                    "comp row {i} has {} columns, expected {resources}",
+                    row.len()
+                )));
+            }
+            for (j, &w) in row.iter().enumerate() {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WorkflowError::InvalidCost(format!("w[{i}][{j}] = {w}")));
+                }
+            }
+        }
+        for (e, &c) in comm.iter().enumerate() {
+            if !c.is_finite() || c < 0.0 {
+                return Err(WorkflowError::InvalidCost(format!("comm[{e}] = {c}")));
+            }
+        }
+        Ok(Self { comp, comm, resources })
+    }
+
+    /// Derive communication costs from a DAG's edge data volumes times a
+    /// global `unit_cost` per volume unit (uniform network).
+    pub fn from_dag_comm(
+        dag: &Dag,
+        comp: Vec<Vec<f64>>,
+        unit_cost: f64,
+    ) -> Result<Self, WorkflowError> {
+        if comp.len() != dag.job_count() {
+            return Err(WorkflowError::DimensionMismatch(format!(
+                "{} comp rows for {} jobs",
+                comp.len(),
+                dag.job_count()
+            )));
+        }
+        let comm = dag.edges().iter().map(|e| e.data * unit_cost).collect();
+        Self::new(comp, comm)
+    }
+
+    /// Number of resources currently covered by the table.
+    #[inline]
+    pub fn resource_count(&self) -> usize {
+        self.resources
+    }
+
+    /// Number of jobs covered by the table.
+    #[inline]
+    pub fn job_count(&self) -> usize {
+        self.comp.len()
+    }
+
+    /// Computation cost `w[i][j]`.
+    #[inline]
+    pub fn comp(&self, job: JobId, r: ResourceId) -> f64 {
+        self.comp[job.idx()][r.idx()]
+    }
+
+    /// Average computation cost `w̄_i` over the current resource pool.
+    pub fn avg_comp(&self, job: JobId) -> f64 {
+        let row = &self.comp[job.idx()];
+        if row.is_empty() {
+            return 0.0;
+        }
+        row.iter().sum::<f64>() / row.len() as f64
+    }
+
+    /// Average computation cost over a subset of resources (the *alive*
+    /// pool; departed resources must not bias the ranks).
+    pub fn avg_comp_over(&self, job: JobId, resources: &[ResourceId]) -> f64 {
+        if resources.is_empty() {
+            return 0.0;
+        }
+        let row = &self.comp[job.idx()];
+        resources.iter().map(|r| row[r.idx()]).sum::<f64>() / resources.len() as f64
+    }
+
+    /// Communication cost of `edge` between two *distinct* resources.
+    #[inline]
+    pub fn comm(&self, edge: EdgeId) -> f64 {
+        self.comm[edge.idx()]
+    }
+
+    /// Effective communication cost of `edge` given a placement: zero when
+    /// producer and consumer are co-located (paper §3.4).
+    #[inline]
+    pub fn comm_between(&self, edge: EdgeId, from: ResourceId, to: ResourceId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.comm[edge.idx()]
+        }
+    }
+
+    /// Average communication cost `c̄` of `edge` as used by the upward rank.
+    /// With the uniform network model this equals the raw edge cost.
+    #[inline]
+    pub fn avg_comm(&self, edge: EdgeId) -> f64 {
+        self.comm[edge.idx()]
+    }
+
+    /// Append one resource column: `column[i]` is `w[i][new]`.
+    pub fn add_resource(&mut self, column: &[f64]) -> Result<ResourceId, WorkflowError> {
+        if column.len() != self.comp.len() {
+            return Err(WorkflowError::DimensionMismatch(format!(
+                "column of {} entries for {} jobs",
+                column.len(),
+                self.comp.len()
+            )));
+        }
+        for (i, &w) in column.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WorkflowError::InvalidCost(format!("w[{i}][new] = {w}")));
+            }
+        }
+        for (row, &w) in self.comp.iter_mut().zip(column) {
+            row.push(w);
+        }
+        let id = ResourceId::from(self.resources);
+        self.resources += 1;
+        Ok(id)
+    }
+
+    /// Restrict the table to the first `r` resources (used to compare "what
+    /// if the pool never grew" scenarios).
+    pub fn truncated(&self, r: usize) -> Self {
+        let r = r.min(self.resources);
+        Self {
+            comp: self.comp.iter().map(|row| row[..r].to_vec()).collect(),
+            comm: self.comm.clone(),
+            resources: r,
+        }
+    }
+
+    /// Measured communication-to-computation ratio: mean edge cost divided by
+    /// mean job cost over the current pool.
+    pub fn measured_ccr(&self) -> f64 {
+        if self.comm.is_empty() || self.comp.is_empty() {
+            return 0.0;
+        }
+        let mean_comm = self.comm.iter().sum::<f64>() / self.comm.len() as f64;
+        let mean_comp = (0..self.comp.len())
+            .map(|i| self.avg_comp(JobId::from(i)))
+            .sum::<f64>()
+            / self.comp.len() as f64;
+        if mean_comp == 0.0 {
+            0.0
+        } else {
+            mean_comm / mean_comp
+        }
+    }
+}
+
+/// Generator that remembers each job's nominal cost `ω_i` and the
+/// heterogeneity factor `β`, so resources joining the pool later draw their
+/// cost column from the same distribution (DESIGN.md §4.6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostGenerator {
+    omega: Vec<f64>,
+    beta: f64,
+}
+
+impl CostGenerator {
+    /// Create from per-job nominal costs and heterogeneity `β ∈ [0, 2]`.
+    /// `β = 0` makes the pool homogeneous.
+    pub fn new(omega: Vec<f64>, beta: f64) -> Result<Self, WorkflowError> {
+        if !(0.0..=2.0).contains(&beta) {
+            return Err(WorkflowError::InvalidCost(format!("beta = {beta}")));
+        }
+        for (i, &w) in omega.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WorkflowError::InvalidCost(format!("omega[{i}] = {w}")));
+            }
+        }
+        Ok(Self { omega, beta })
+    }
+
+    /// Nominal cost of `job`.
+    #[inline]
+    pub fn omega(&self, job: JobId) -> f64 {
+        self.omega[job.idx()]
+    }
+
+    /// Heterogeneity factor `β`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of jobs covered.
+    #[inline]
+    pub fn job_count(&self) -> usize {
+        self.omega.len()
+    }
+
+    /// Sample one resource's cost column: `w[i] = ω_i · U[1−β/2, 1+β/2]`.
+    pub fn sample_column<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let lo = 1.0 - self.beta / 2.0;
+        let hi = 1.0 + self.beta / 2.0;
+        self.omega
+            .iter()
+            .map(|&w| {
+                if w == 0.0 {
+                    0.0
+                } else if self.beta == 0.0 {
+                    w
+                } else {
+                    w * rng.random_range(lo..hi)
+                }
+            })
+            .collect()
+    }
+
+    /// Sample a full table for `resources` resources, taking communication
+    /// costs from the DAG's edge volumes (unit network cost).
+    pub fn sample_table<R: Rng + ?Sized>(
+        &self,
+        dag: &Dag,
+        resources: usize,
+        rng: &mut R,
+    ) -> Result<CostTable, WorkflowError> {
+        if self.omega.len() != dag.job_count() {
+            return Err(WorkflowError::DimensionMismatch(format!(
+                "{} omegas for {} jobs",
+                self.omega.len(),
+                dag.job_count()
+            )));
+        }
+        let mut comp = vec![Vec::with_capacity(resources); self.omega.len()];
+        for _ in 0..resources {
+            let col = self.sample_column(rng);
+            for (row, w) in comp.iter_mut().zip(col) {
+                row.push(w);
+            }
+        }
+        CostTable::from_dag_comm(dag, comp, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 8.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn comm_is_zero_when_colocated() {
+        let d = tiny_dag();
+        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 2.0], vec![3.0, 4.0]], 1.0).unwrap();
+        let e = EdgeId(0);
+        assert_eq!(t.comm_between(e, ResourceId(0), ResourceId(0)), 0.0);
+        assert_eq!(t.comm_between(e, ResourceId(0), ResourceId(1)), 8.0);
+    }
+
+    #[test]
+    fn avg_comp_is_row_mean() {
+        let d = tiny_dag();
+        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 3.0], vec![2.0, 2.0]], 1.0).unwrap();
+        assert!((t.avg_comp(JobId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_resource_extends_all_rows() {
+        let d = tiny_dag();
+        let mut t =
+            CostTable::from_dag_comm(&d, vec![vec![1.0], vec![2.0]], 1.0).unwrap();
+        let id = t.add_resource(&[5.0, 6.0]).unwrap();
+        assert_eq!(id, ResourceId(1));
+        assert_eq!(t.resource_count(), 2);
+        assert_eq!(t.comp(JobId(1), ResourceId(1)), 6.0);
+    }
+
+    #[test]
+    fn add_resource_rejects_bad_column() {
+        let d = tiny_dag();
+        let mut t = CostTable::from_dag_comm(&d, vec![vec![1.0], vec![2.0]], 1.0).unwrap();
+        assert!(t.add_resource(&[5.0]).is_err());
+        assert!(t.add_resource(&[5.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn truncated_drops_columns() {
+        let d = tiny_dag();
+        let t =
+            CostTable::from_dag_comm(&d, vec![vec![1.0, 9.0], vec![2.0, 9.0]], 1.0).unwrap();
+        let t2 = t.truncated(1);
+        assert_eq!(t2.resource_count(), 1);
+        assert!((t2.avg_comp(JobId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_respects_beta_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = CostGenerator::new(vec![100.0, 50.0], 1.0).unwrap();
+        for _ in 0..100 {
+            let col = g.sample_column(&mut rng);
+            assert!(col[0] >= 50.0 && col[0] <= 150.0);
+            assert!(col[1] >= 25.0 && col[1] <= 75.0);
+        }
+    }
+
+    #[test]
+    fn generator_beta_zero_is_homogeneous() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = CostGenerator::new(vec![100.0], 0.0).unwrap();
+        assert_eq!(g.sample_column(&mut rng), vec![100.0]);
+    }
+
+    #[test]
+    fn generator_rejects_invalid() {
+        assert!(CostGenerator::new(vec![1.0], -0.5).is_err());
+        assert!(CostGenerator::new(vec![-1.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn measured_ccr_matches_construction() {
+        let d = tiny_dag();
+        // mean comm = 8, mean comp = (2 + 2) / 2 = 2 => ccr = 4
+        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 3.0], vec![2.0, 2.0]], 1.0).unwrap();
+        assert!((t.measured_ccr() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz (DOT) export for visual inspection of generated workflows.
+
+use std::fmt::Write as _;
+
+use crate::costs::CostTable;
+use crate::graph::Dag;
+
+/// Render the DAG as a Graphviz `digraph`, labelling edges with their data
+/// volumes.
+pub fn to_dot(dag: &Dag) -> String {
+    let mut out = String::new();
+    out.push_str("digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n");
+    for j in dag.job_ids() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", j.idx(), dag.job(j).name);
+    }
+    for e in dag.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            e.src.idx(),
+            e.dst.idx(),
+            trim_float(e.data)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// As [`to_dot`] but node labels also carry the job's average computation
+/// cost under `costs`.
+pub fn to_dot_with_costs(dag: &Dag, costs: &CostTable) -> String {
+    let mut out = String::new();
+    out.push_str("digraph workflow {\n  rankdir=TB;\n  node [shape=box];\n");
+    for j in dag.job_ids() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\nw̄={}\"];",
+            j.idx(),
+            dag.job(j).name,
+            trim_float(costs.avg_comp(j))
+        );
+    }
+    for e in dag.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            e.src.idx(),
+            e.dst.idx(),
+            trim_float(e.data)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("alpha");
+        let c = b.add_job("beta");
+        b.add_edge(a, c, 4.5).unwrap();
+        let d = b.build().unwrap();
+        let dot = to_dot(&d);
+        assert!(dot.contains("alpha"));
+        assert!(dot.contains("beta"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("4.50"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn integral_volumes_render_without_decimals() {
+        let mut b = DagBuilder::new();
+        let a = b.add_job("a");
+        let c = b.add_job("b");
+        b.add_edge(a, c, 18.0).unwrap();
+        let d = b.build().unwrap();
+        assert!(to_dot(&d).contains("label=\"18\""));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for DAG construction and validation.
+
+use std::fmt;
+
+use crate::ids::JobId;
+
+/// Errors raised while building or validating a workflow DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// An edge references a job id outside `0..v`.
+    UnknownJob(JobId),
+    /// The same (src, dst) edge was added twice.
+    DuplicateEdge(JobId, JobId),
+    /// A self-loop `(n, n)` was added.
+    SelfLoop(JobId),
+    /// The edge set contains a cycle; no topological order exists.
+    Cycle,
+    /// The DAG has no jobs.
+    Empty,
+    /// A cost value was negative or non-finite.
+    InvalidCost(String),
+    /// A cost table's dimensions do not match the DAG / resource pool.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::UnknownJob(j) => write!(f, "edge references unknown job {j}"),
+            WorkflowError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            WorkflowError::SelfLoop(j) => write!(f, "self loop on {j}"),
+            WorkflowError::Cycle => write!(f, "graph contains a cycle"),
+            WorkflowError::Empty => write!(f, "workflow has no jobs"),
+            WorkflowError::InvalidCost(msg) => write!(f, "invalid cost: {msg}"),
+            WorkflowError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = WorkflowError::DuplicateEdge(JobId(0), JobId(1));
+        assert_eq!(e.to_string(), "duplicate edge n1 -> n2");
+        assert!(WorkflowError::Cycle.to_string().contains("cycle"));
+    }
+}

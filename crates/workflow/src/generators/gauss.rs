@@ -1,0 +1,131 @@
+//! Gaussian-elimination DAG generator.
+//!
+//! The second structured application of the HEFT paper (Topcuoglu et al.
+//! 2002, §5.2): for matrix size `m`, elimination step `k` consists of one
+//! pivot-column job followed by `m − k` parallel update jobs. Parallelism
+//! *narrows* as the computation proceeds — the opposite profile to BLAST —
+//! which makes it a useful contrast case for the adaptive-rescheduling
+//! ablations (late-arriving resources help little when the remaining DAG is
+//! already narrow).
+//!
+//! Total jobs `v = (m² + m − 2) / 2`.
+
+use rand::Rng;
+
+use super::blast::{rebuild_with_volumes, AppDagParams};
+use super::{scale_comm_to_ccr, GeneratedWorkflow};
+use crate::build::DagBuilder;
+use crate::costs::CostGenerator;
+use crate::ids::JobId;
+
+/// Operation classes of the Gaussian-elimination workflow.
+pub mod ops {
+    use crate::graph::OpClass;
+    /// Column pivot/normalisation job `T_{k,k}`.
+    pub const PIVOT: OpClass = OpClass(0);
+    /// Row update job `T_{k,j}`.
+    pub const UPDATE: OpClass = OpClass(1);
+}
+
+/// Number of jobs in the elimination DAG for matrix size `m`.
+pub fn job_count(m: usize) -> usize {
+    (m * m + m - 2) / 2
+}
+
+/// Generate the elimination DAG for matrix size `m = params.parallelism`
+/// (the widest level has `m − 1` update jobs). Panics if `m < 2`.
+#[allow(clippy::needless_range_loop)] // parallel rows are co-indexed
+pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> GeneratedWorkflow {
+    let m = params.parallelism;
+    assert!(m >= 2, "Gaussian elimination needs matrix size >= 2");
+
+    let mut b = DagBuilder::with_capacity(job_count(m), job_count(m) * 2);
+    // ids[k][j] = job T_{k,j}; j == k is the pivot, j in k+1..m are updates.
+    // Steps k = 1..m-1 (1-based like the literature).
+    let mut ids: Vec<Vec<JobId>> = Vec::with_capacity(m);
+    for k in 1..m {
+        let mut row = Vec::with_capacity(m - k + 1);
+        row.push(b.add_job_with_class(format!("pivot_{k}"), ops::PIVOT));
+        for j in (k + 1)..=m {
+            row.push(b.add_job_with_class(format!("update_{k}_{j}"), ops::UPDATE));
+        }
+        ids.push(row);
+    }
+
+    let vol = |rng: &mut R| params.omega_dag * rng.random_range(0.5..1.5);
+    for k in 0..ids.len() {
+        let pivot = ids[k][0];
+        // Pivot feeds every update of its own step.
+        for u in 1..ids[k].len() {
+            let v = vol(rng);
+            b.add_edge(pivot, ids[k][u], v).expect("acyclic");
+        }
+        if k + 1 < ids.len() {
+            // update_{k, k+1} (first update) feeds the next pivot;
+            // update_{k, j} feeds update_{k+1, j}.
+            let v = vol(rng);
+            b.add_edge(ids[k][1], ids[k + 1][0], v).expect("acyclic");
+            for u in 2..ids[k].len() {
+                let v = vol(rng);
+                // update_{k, j} at local index u maps to update_{k+1, j} at
+                // local index u - 1 in the next (one-shorter) row.
+                b.add_edge(ids[k][u], ids[k + 1][u - 1], v).expect("acyclic");
+            }
+        }
+    }
+
+    let dag = b.build().expect("elimination DAG is acyclic");
+
+    let pivot_omega = params.omega_dag * rng.random_range(0.6..1.0);
+    let update_omega = params.omega_dag * rng.random_range(1.0..1.6);
+    let omega: Vec<f64> = dag
+        .job_ids()
+        .map(|j| if dag.job(j).op == ops::PIVOT { pivot_omega } else { update_omega })
+        .collect();
+    let mut volumes: Vec<f64> = dag.edges().iter().map(|e| e.data).collect();
+    scale_comm_to_ccr(&mut volumes, &omega, params.ccr);
+    let dag = rebuild_with_volumes(&dag, &volumes);
+
+    let costgen = CostGenerator::new(omega, params.beta).expect("beta validated upstream");
+    GeneratedWorkflow { dag, costgen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn job_count_formula() {
+        assert_eq!(job_count(2), 2);
+        assert_eq!(job_count(5), 14);
+        let mut rng = StdRng::seed_from_u64(31);
+        let p = AppDagParams { parallelism: 5, ..AppDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        assert_eq!(wf.dag.job_count(), 14);
+    }
+
+    #[test]
+    fn parallelism_narrows() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let p = AppDagParams { parallelism: 6, ..AppDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let widths = analysis::width_profile(&wf.dag);
+        // Widths alternate pivot (1-ish) / update rows; the update rows
+        // shrink monotonically: 5, 4, 3, 2, 1.
+        let wide: Vec<usize> = widths.iter().copied().filter(|&w| w > 1).collect();
+        assert!(wide.windows(2).all(|w| w[0] >= w[1]), "widths {widths:?}");
+        assert_eq!(analysis::shape(&wf.dag).max_width, 5);
+    }
+
+    #[test]
+    fn single_entry_single_exit() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let p = AppDagParams { parallelism: 4, ..AppDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        assert_eq!(wf.dag.entry_jobs().len(), 1);
+        assert_eq!(wf.dag.exit_jobs().len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Montage-like mosaic workflow generator.
+//!
+//! Montage is cited by the paper (§4.3) as a third well-balanced, highly
+//! parallel scientific workflow with 11 unique operations. This simplified
+//! shape keeps the characteristic structure used throughout the scheduling
+//! literature:
+//!
+//! ```text
+//! {mProject_i}        — N parallel projections
+//! {mDiffFit_{i,i+1}}  — N−1 overlap fits, each reading two projections
+//! mConcatFit          — fan-in
+//! mBgModel            — background model (serial)
+//! {mBackground_i}     — N parallel corrections (also read mProject_i)
+//! mImgtbl → mAdd → mShrink → mJPEG — serial tail
+//! ```
+//!
+//! Total jobs `v = 3N + 5` (for `N ≥ 2`). Used by ablation benches as a
+//! third application shape between BLAST (one wide stage) and WIEN2K
+//! (bottlenecked wide stages).
+
+use rand::Rng;
+
+use super::blast::{rebuild_with_volumes, sample_class_omegas, AppDagParams};
+use super::{scale_comm_to_ccr, GeneratedWorkflow};
+use crate::build::DagBuilder;
+use crate::costs::CostGenerator;
+
+/// Operation classes of the Montage-like workflow.
+pub mod ops {
+    use crate::graph::OpClass;
+    /// Re-project one input image.
+    pub const PROJECT: OpClass = OpClass(0);
+    /// Fit the difference of two overlapping projections.
+    pub const DIFF_FIT: OpClass = OpClass(1);
+    /// Concatenate fit results.
+    pub const CONCAT_FIT: OpClass = OpClass(2);
+    /// Compute the global background model.
+    pub const BG_MODEL: OpClass = OpClass(3);
+    /// Apply background correction to one image.
+    pub const BACKGROUND: OpClass = OpClass(4);
+    /// Build the image table.
+    pub const IMGTBL: OpClass = OpClass(5);
+    /// Co-add corrected images.
+    pub const ADD: OpClass = OpClass(6);
+    /// Shrink the mosaic.
+    pub const SHRINK: OpClass = OpClass(7);
+    /// Render the final JPEG.
+    pub const JPEG: OpClass = OpClass(8);
+}
+
+/// Generate a Montage-like workflow with `N = params.parallelism` input
+/// images. Panics if `parallelism < 2` (overlap fitting needs ≥ 2 images).
+pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> GeneratedWorkflow {
+    assert!(params.parallelism >= 2, "Montage needs at least two images");
+    let n = params.parallelism;
+
+    let mut b = DagBuilder::with_capacity(3 * n + 5, 6 * n);
+    let projects: Vec<_> = (0..n)
+        .map(|i| b.add_job_with_class(format!("mProject_{}", i + 1), ops::PROJECT))
+        .collect();
+    let diffs: Vec<_> = (0..n - 1)
+        .map(|i| b.add_job_with_class(format!("mDiffFit_{}_{}", i + 1, i + 2), ops::DIFF_FIT))
+        .collect();
+    let concat = b.add_job_with_class("mConcatFit", ops::CONCAT_FIT);
+    let bgmodel = b.add_job_with_class("mBgModel", ops::BG_MODEL);
+    let backgrounds: Vec<_> = (0..n)
+        .map(|i| b.add_job_with_class(format!("mBackground_{}", i + 1), ops::BACKGROUND))
+        .collect();
+    let imgtbl = b.add_job_with_class("mImgtbl", ops::IMGTBL);
+    let add = b.add_job_with_class("mAdd", ops::ADD);
+    let shrink = b.add_job_with_class("mShrink", ops::SHRINK);
+    let jpeg = b.add_job_with_class("mJPEG", ops::JPEG);
+
+    let class_omega = sample_class_omegas(
+        rng,
+        params.omega_dag,
+        &[1.4, 0.9, 0.4, 0.8, 1.1, 0.4, 1.0, 0.5, 0.4],
+    );
+    let vol = |rng: &mut R| params.omega_dag * rng.random_range(0.5..1.5);
+
+    for i in 0..n - 1 {
+        let v1 = vol(rng);
+        let v2 = vol(rng);
+        b.add_edge(projects[i], diffs[i], v1).expect("acyclic");
+        b.add_edge(projects[i + 1], diffs[i], v2).expect("acyclic");
+    }
+    for &d in &diffs {
+        b.add_edge(d, concat, vol(rng)).expect("acyclic");
+    }
+    b.add_edge(concat, bgmodel, vol(rng)).expect("acyclic");
+    for i in 0..n {
+        b.add_edge(bgmodel, backgrounds[i], vol(rng)).expect("acyclic");
+        b.add_edge(projects[i], backgrounds[i], vol(rng)).expect("acyclic");
+        b.add_edge(backgrounds[i], imgtbl, vol(rng)).expect("acyclic");
+    }
+    b.add_edge(imgtbl, add, vol(rng)).expect("acyclic");
+    b.add_edge(add, shrink, vol(rng)).expect("acyclic");
+    b.add_edge(shrink, jpeg, vol(rng)).expect("acyclic");
+
+    let dag = b.build().expect("Montage shape is acyclic");
+
+    let omega: Vec<f64> =
+        dag.job_ids().map(|j| class_omega[dag.job(j).op.0 as usize]).collect();
+    let mut volumes: Vec<f64> = dag.edges().iter().map(|e| e.data).collect();
+    scale_comm_to_ccr(&mut volumes, &omega, params.ccr);
+    let dag = rebuild_with_volumes(&dag, &volumes);
+
+    let costgen = CostGenerator::new(omega, params.beta).expect("beta validated upstream");
+    GeneratedWorkflow { dag, costgen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn montage_counts() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = AppDagParams { parallelism: 10, ..AppDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        assert_eq!(wf.dag.job_count(), 3 * 10 + 5);
+        let s = analysis::shape(&wf.dag);
+        assert_eq!(s.entries, 10); // projections have no parents
+        assert_eq!(s.exits, 1);
+    }
+
+    #[test]
+    fn backgrounds_wait_for_bgmodel() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = AppDagParams { parallelism: 4, ..AppDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        // Every mBackground job must have two predecessors: mBgModel and its
+        // projection.
+        for j in wf.dag.job_ids() {
+            if wf.dag.job(j).op == ops::BACKGROUND {
+                assert_eq!(wf.dag.preds(j).len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two images")]
+    fn rejects_single_image() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = AppDagParams { parallelism: 1, ..AppDagParams::paper_default() };
+        let _ = generate(&p, &mut rng);
+    }
+}

@@ -1,0 +1,200 @@
+//! HEFT ranks (paper Eqs. 5–6) and the critical path.
+//!
+//! The **upward rank** of a job is the length of the longest path from the
+//! job to an exit, counting average computation costs of nodes and average
+//! communication costs of edges:
+//!
+//! ```text
+//! rank_u(n_i) = w̄_i + max_{n_j ∈ succ(n_i)} ( c̄(i,j) + rank_u(n_j) )
+//! rank_u(n_exit) = w̄_exit
+//! ```
+//!
+//! Scheduling jobs in non-increasing `rank_u` order is a topological order
+//! (a predecessor's rank strictly exceeds a successor's whenever costs are
+//! positive), which both HEFT and AHEFT rely on.
+
+use crate::costs::CostTable;
+use crate::graph::Dag;
+use crate::ids::{JobId, ResourceId};
+
+/// Compute `rank_u` for every job.
+pub fn rank_upward(dag: &Dag, costs: &CostTable) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.job_count()];
+    for &j in dag.topo_order().iter().rev() {
+        let mut best = 0.0f64;
+        for &(s, e) in dag.succs(j) {
+            let cand = costs.avg_comm(e) + rank[s.idx()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        rank[j.idx()] = costs.avg_comp(j) + best;
+    }
+    rank
+}
+
+/// As [`rank_upward`] but averaging computation costs over the `alive`
+/// subset of resources only. AHEFT recomputes ranks at every rescheduling
+/// instant against the *current* pool (paper Fig. 2, line 5).
+pub fn rank_upward_over(dag: &Dag, costs: &CostTable, alive: &[ResourceId]) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.job_count()];
+    for &j in dag.topo_order().iter().rev() {
+        let mut best = 0.0f64;
+        for &(s, e) in dag.succs(j) {
+            let cand = costs.avg_comm(e) + rank[s.idx()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        rank[j.idx()] = costs.avg_comp_over(j, alive) + best;
+    }
+    rank
+}
+
+/// Compute the downward rank: longest average-cost path from an entry to the
+/// job, excluding the job's own cost.
+///
+/// ```text
+/// rank_d(n_i) = max_{n_p ∈ pred(n_i)} ( rank_d(n_p) + w̄_p + c̄(p,i) )
+/// rank_d(n_entry) = 0
+/// ```
+pub fn rank_downward(dag: &Dag, costs: &CostTable) -> Vec<f64> {
+    let mut rank = vec![0.0f64; dag.job_count()];
+    for &j in dag.topo_order() {
+        let mut best = 0.0f64;
+        for &(p, e) in dag.preds(j) {
+            let cand = rank[p.idx()] + costs.avg_comp(p) + costs.avg_comm(e);
+            if cand > best {
+                best = cand;
+            }
+        }
+        rank[j.idx()] = best;
+    }
+    rank
+}
+
+/// Jobs sorted by non-increasing `rank_u`, ties broken by topological
+/// position (so the order is always a valid topological order, even with
+/// zero-cost jobs or edges).
+pub fn priority_order(dag: &Dag, costs: &CostTable) -> Vec<JobId> {
+    let rank = rank_upward(dag, costs);
+    priority_order_from_ranks(dag, &rank)
+}
+
+/// As [`priority_order`] but reusing precomputed ranks.
+pub fn priority_order_from_ranks(dag: &Dag, rank: &[f64]) -> Vec<JobId> {
+    let mut order: Vec<JobId> = dag.job_ids().collect();
+    order.sort_by(|&a, &b| {
+        rank[b.idx()]
+            .partial_cmp(&rank[a.idx()])
+            .expect("ranks are finite")
+            .then_with(|| dag.topo_position(a).cmp(&dag.topo_position(b)))
+    });
+    order
+}
+
+/// The critical path: jobs on the longest average-cost entry→exit path.
+/// Its length (`rank_u` of the first job) lower-bounds any schedule built
+/// from average costs and is the denominator of the SLR metric.
+pub fn critical_path(dag: &Dag, costs: &CostTable) -> (Vec<JobId>, f64) {
+    let rank = rank_upward(dag, costs);
+    let start = dag
+        .entry_jobs()
+        .into_iter()
+        .max_by(|&a, &b| rank[a.idx()].partial_cmp(&rank[b.idx()]).expect("finite"))
+        .expect("non-empty DAG has an entry");
+    let length = rank[start.idx()];
+    let mut path = vec![start];
+    let mut cur = start;
+    loop {
+        let next = dag
+            .succs(cur)
+            .iter()
+            .max_by(|&&(s1, e1), &&(s2, e2)| {
+                let v1 = costs.avg_comm(e1) + rank[s1.idx()];
+                let v2 = costs.avg_comm(e2) + rank[s2.idx()];
+                v1.partial_cmp(&v2).expect("finite")
+            })
+            .map(|&(s, _)| s);
+        match next {
+            Some(s) => {
+                path.push(s);
+                cur = s;
+            }
+            None => break,
+        }
+    }
+    (path, length)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::DagBuilder;
+    use crate::costs::CostTable;
+
+    /// chain a -> b -> c with unit comm, comp 10/20/30 on one resource.
+    fn chain() -> (Dag, CostTable) {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..3).map(|i| b.add_job(format!("j{i}"))).collect();
+        b.add_edge(ids[0], ids[1], 1.0).unwrap();
+        b.add_edge(ids[1], ids[2], 2.0).unwrap();
+        let dag = b.build().unwrap();
+        let costs =
+            CostTable::from_dag_comm(&dag, vec![vec![10.0], vec![20.0], vec![30.0]], 1.0).unwrap();
+        (dag, costs)
+    }
+
+    #[test]
+    fn rank_u_on_chain() {
+        let (dag, costs) = chain();
+        let r = rank_upward(&dag, &costs);
+        assert!((r[2] - 30.0).abs() < 1e-12);
+        assert!((r[1] - (20.0 + 2.0 + 30.0)).abs() < 1e-12);
+        assert!((r[0] - (10.0 + 1.0 + 52.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_d_on_chain() {
+        let (dag, costs) = chain();
+        let r = rank_downward(&dag, &costs);
+        assert!((r[0] - 0.0).abs() < 1e-12);
+        assert!((r[1] - 11.0).abs() < 1e-12);
+        assert!((r[2] - 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_u_plus_rank_d_bounded_by_cp() {
+        let (dag, costs) = chain();
+        let ru = rank_upward(&dag, &costs);
+        let rd = rank_downward(&dag, &costs);
+        let (_, cp) = critical_path(&dag, &costs);
+        for j in dag.job_ids() {
+            assert!(rd[j.idx()] + ru[j.idx()] <= cp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn priority_order_is_topological() {
+        let (dag, costs) = chain();
+        let order = priority_order(&dag, &costs);
+        assert_eq!(order, dag.topo_order().to_vec());
+    }
+
+    #[test]
+    fn critical_path_spans_entry_to_exit() {
+        let (dag, costs) = chain();
+        let (path, len) = critical_path(&dag, &costs);
+        assert_eq!(path.len(), 3);
+        assert!((len - 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_decreases_along_edges() {
+        let (dag, costs) = chain();
+        let r = rank_upward(&dag, &costs);
+        for e in dag.edges() {
+            assert!(r[e.src.idx()] > r[e.dst.idx()]);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Smoke-scale runs of the experiment harness asserting the *qualitative*
+//! shapes the paper reports (who wins, which way trends point).
+
+use aheft::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Helper: average HEFT/AHEFT/Min-Min makespans over a few seeds.
+fn averages(
+    gen: &dyn Fn(&mut StdRng) -> GeneratedWorkflow,
+    resources: usize,
+    dynamics: &PoolDynamics,
+    seeds: u64,
+    with_minmin: bool,
+) -> (f64, f64, Option<f64>) {
+    let mut h = 0.0;
+    let mut a = 0.0;
+    let mut m = 0.0;
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(777 + seed);
+        let wf = gen(&mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        h += run_static_heft(&wf.dag, &costs, &wf.costgen, dynamics, seed).makespan;
+        a += run_aheft(&wf.dag, &costs, &wf.costgen, dynamics, seed).makespan;
+        if with_minmin {
+            m += run_dynamic(&wf.dag, &costs, &wf.costgen, dynamics, seed, DynamicHeuristic::MinMin)
+                .makespan;
+        }
+    }
+    let n = seeds as f64;
+    (h / n, a / n, with_minmin.then_some(m / n))
+}
+
+#[test]
+fn minmin_loses_badly_on_data_intensive_workflows() {
+    // §4.2 headline shape: Min-Min ≫ HEFT (paper: 12352 vs 4075) — driven
+    // by data-intensive cases where just-in-time transfer deferral
+    // serialises the communication.
+    let dynamics = PoolDynamics::fixed(10);
+    let ratio_at = |ccr: f64| {
+        let params = RandomDagParams { jobs: 60, ccr, ..RandomDagParams::paper_default() };
+        let (h, _a, m) = averages(
+            &|rng| aheft::workflow::generators::random::generate(&params, rng),
+            10,
+            &dynamics,
+            4,
+            true,
+        );
+        m.unwrap() / h
+    };
+    let low = ratio_at(0.1);
+    let high = ratio_at(10.0);
+    assert!(high > 1.3, "Min-Min should be far worse than HEFT at CCR 10, ratio {high:.2}");
+    assert!(
+        high > low,
+        "the Min-Min/HEFT gap must widen with CCR: {low:.2} -> {high:.2}"
+    );
+}
+
+#[test]
+fn improvement_rises_with_ccr_on_random_dags() {
+    // Table 3 shape: higher CCR -> larger AHEFT improvement.
+    let dynamics = PoolDynamics::periodic_growth(10, 400.0, 0.25);
+    let mut rates = Vec::new();
+    for ccr in [0.1, 10.0] {
+        let params = RandomDagParams { jobs: 80, ccr, ..RandomDagParams::paper_default() };
+        let (h, a, _) = averages(
+            &|rng| aheft::workflow::generators::random::generate(&params, rng),
+            10,
+            &dynamics,
+            6,
+            false,
+        );
+        rates.push(improvement_rate(h, a));
+    }
+    assert!(
+        rates[1] >= rates[0] - 0.005,
+        "improvement at CCR 10 ({:.3}) should exceed CCR 0.1 ({:.3})",
+        rates[1],
+        rates[0]
+    );
+}
+
+#[test]
+fn blast_benefits_from_growth_more_than_a_static_pool() {
+    // Table 6 mechanism: with a fixed pool AHEFT == HEFT; with arrivals it
+    // improves.
+    let params = AppDagParams { parallelism: 60, ..AppDagParams::paper_default() };
+    let gen = |rng: &mut StdRng| aheft::workflow::generators::blast::generate(&params, rng);
+    let fixed = PoolDynamics::fixed(8);
+    let (hf, af, _) = averages(&gen, 8, &fixed, 3, false);
+    assert!((hf - af).abs() < 1e-6, "no events -> no reschedules -> equal makespans");
+    let growing = PoolDynamics::periodic_growth(8, 400.0, 0.25);
+    let (hg, ag, _) = averages(&gen, 8, &growing, 3, false);
+    assert!(
+        ag < hg - 1e-6,
+        "with arrivals AHEFT ({ag:.0}) must improve on HEFT ({hg:.0})"
+    );
+}
+
+#[test]
+fn smaller_initial_pool_gives_larger_improvement() {
+    // Fig. 8(d) shape: "the smaller the initial resource pool is the better
+    // AHEFT outperforms HEFT".
+    let params = AppDagParams { parallelism: 80, ..AppDagParams::paper_default() };
+    let gen = |rng: &mut StdRng| aheft::workflow::generators::blast::generate(&params, rng);
+    let mut rates = Vec::new();
+    for r in [6usize, 40] {
+        let dynamics = PoolDynamics::periodic_growth(r, 400.0, 0.25);
+        let (h, a, _) = averages(&gen, r, &dynamics, 3, false);
+        rates.push(improvement_rate(h, a));
+    }
+    assert!(
+        rates[0] > rates[1] - 0.005,
+        "R=6 improvement ({:.3}) should exceed R=40 ({:.3})",
+        rates[0],
+        rates[1]
+    );
+}
+
+#[test]
+fn more_frequent_arrivals_help_more() {
+    // Fig. 8(e) shape: "the more frequent the new resource is available,
+    // the more efficient AHEFT can be" (smaller Δ -> larger improvement).
+    let params = AppDagParams { parallelism: 80, ..AppDagParams::paper_default() };
+    let gen = |rng: &mut StdRng| aheft::workflow::generators::blast::generate(&params, rng);
+    let mut rates = Vec::new();
+    for delta in [200.0, 1600.0] {
+        let dynamics = PoolDynamics::periodic_growth(8, delta, 0.25);
+        let (h, a, _) = averages(&gen, 8, &dynamics, 3, false);
+        rates.push(improvement_rate(h, a));
+    }
+    assert!(
+        rates[0] > rates[1] - 0.005,
+        "Δ=200 improvement ({:.3}) should exceed Δ=1600 ({:.3})",
+        rates[0],
+        rates[1]
+    );
+}
+
+#[test]
+fn wien2k_bottleneck_limits_gains_vs_blast_at_scale() {
+    // Table 6 shape: BLAST (one wide stage) gains more from extra
+    // resources than WIEN2K (FERMI bottleneck + serial tail) when the
+    // workflow is much wider than the pool.
+    let params = AppDagParams { parallelism: 120, ..AppDagParams::paper_default() };
+    let dynamics = PoolDynamics::periodic_growth(6, 300.0, 0.25);
+    let (hb, ab, _) = averages(
+        &|rng| aheft::workflow::generators::blast::generate(&params, rng),
+        6,
+        &dynamics,
+        3,
+        false,
+    );
+    let (hw, aw, _) = averages(
+        &|rng| aheft::workflow::generators::wien2k::generate(&params, rng),
+        6,
+        &dynamics,
+        3,
+        false,
+    );
+    let blast_rate = improvement_rate(hb, ab);
+    let wien_rate = improvement_rate(hw, aw);
+    // Both must improve; report the comparison (see EXPERIMENTS.md for the
+    // measured Table 6 reproduction).
+    assert!(blast_rate > 0.0, "BLAST must improve, got {blast_rate:.3}");
+    assert!(wien_rate >= 0.0, "WIEN2K must not regress, got {wien_rate:.3}");
+}
