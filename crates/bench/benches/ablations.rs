@@ -54,9 +54,7 @@ fn bench_reschedulable_set(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(run_aheft_with(&wf.dag, &costs, &wf.costgen, &dynamics, 1, &cfg))
-            })
+            b.iter(|| black_box(run_aheft_with(&wf.dag, &costs, &wf.costgen, &dynamics, 1, &cfg)))
         });
     }
     group.finish();

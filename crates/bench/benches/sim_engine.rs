@@ -54,9 +54,7 @@ fn bench_full_runs(c: &mut Criterion) {
         b.iter(|| run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, 5))
     });
     group.bench_function("dynamic_minmin_v60_r10", |b| {
-        b.iter(|| {
-            run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, 5, DynamicHeuristic::MinMin)
-        })
+        b.iter(|| run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, 5, DynamicHeuristic::MinMin))
     });
     group.finish();
 }

@@ -16,9 +16,7 @@ fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("regenerate");
     group.sample_size(10);
 
-    group.bench_function("fig5_worked_example", |b| {
-        b.iter(|| black_box(experiments::fig5()))
-    });
+    group.bench_function("fig5_worked_example", |b| b.iter(|| black_box(experiments::fig5())));
     group.bench_function("headline_random_averages", |b| {
         b.iter(|| black_box(experiments::headline(Scale::Smoke)))
     });

@@ -47,8 +47,20 @@ fn main() {
     }
     if artifacts.iter().any(|a| a == "all") {
         artifacts = [
-            "fig5", "headline", "table3", "table4", "table6", "table7", "table8", "fig8a",
-            "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "ablations",
+            "fig5",
+            "headline",
+            "table3",
+            "table4",
+            "table6",
+            "table7",
+            "table8",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig8d",
+            "fig8e",
+            "fig8f",
+            "ablations",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -77,11 +89,8 @@ fn main() {
         for (i, t) in tables.iter().enumerate() {
             println!("{}", t.render());
             if let Some(dir) = &csv_dir {
-                let name = if tables.len() == 1 {
-                    artifact.clone()
-                } else {
-                    format!("{artifact}_{i}")
-                };
+                let name =
+                    if tables.len() == 1 { artifact.clone() } else { format!("{artifact}_{i}") };
                 if let Err(e) = t.write_csv(dir, &name) {
                     eprintln!("failed to write {name}.csv: {e}");
                 }

@@ -7,9 +7,7 @@
 //! the paper's reference values.
 
 use aheft_core::aheft::{AheftConfig, ReschedulableSet};
-use aheft_core::runner::{
-    run_aheft_with, run_dynamic, run_static_heft_with, RunConfig,
-};
+use aheft_core::runner::{run_aheft_with, run_dynamic, run_static_heft_with, RunConfig};
 use aheft_core::{DynamicHeuristic, ReschedulePolicy, SlotPolicy};
 use aheft_gridsim::stats::Running;
 use aheft_workflow::generators::blast::AppDagParams;
@@ -49,11 +47,7 @@ const APP_CCR: [f64; 5] = [0.1, 0.5, 1.0, 5.0, 10.0];
 const APP_POOL: [usize; 5] = [20, 40, 60, 80, 100];
 
 /// Build the random-DAG case grid, optionally pinning one axis.
-fn random_cases(
-    scale: Scale,
-    pin_ccr: Option<f64>,
-    pin_jobs: Option<usize>,
-) -> Vec<Case> {
+fn random_cases(scale: Scale, pin_ccr: Option<f64>, pin_jobs: Option<usize>) -> Vec<Case> {
     let jobs = pin_jobs.map(|v| vec![v]).unwrap_or_else(|| strided(&JOBS, scale));
     let ccrs = pin_ccr.map(|c| vec![c]).unwrap_or_else(|| strided(&CCR, scale));
     let outs = strided(&OUT_DEGREE, scale);
@@ -145,19 +139,18 @@ fn app_cases(
     cases
 }
 
+/// Swept application axes `(ccr, beta, pool, delta, fraction)`.
+type AppAxes = (Vec<f64>, Vec<f64>, Vec<usize>, Vec<f64>, Vec<f64>);
+
 /// Default (non-swept) application axes: a light average representative of
 /// Table 5's grid.
-fn app_defaults(scale: Scale) -> (Vec<f64>, Vec<f64>, Vec<usize>, Vec<f64>, Vec<f64>) {
+fn app_defaults(scale: Scale) -> AppAxes {
     match scale {
         Scale::Smoke => (vec![1.0], vec![0.5], vec![20], vec![400.0], vec![0.10]),
         Scale::Default => (vec![1.0], vec![0.5], vec![20, 60], vec![400.0, 1200.0], vec![0.10]),
-        Scale::Full => (
-            APP_CCR.to_vec(),
-            BETA.to_vec(),
-            APP_POOL.to_vec(),
-            DELTA.to_vec(),
-            FRACTION.to_vec(),
-        ),
+        Scale::Full => {
+            (APP_CCR.to_vec(), BETA.to_vec(), APP_POOL.to_vec(), DELTA.to_vec(), FRACTION.to_vec())
+        }
     }
 }
 
@@ -290,9 +283,8 @@ pub fn table4(scale: Scale) -> TextTable {
         let (h, a, imp) = mean_improvement(&results);
         t.row(vec![v.to_string(), mk(h.mean()), mk(a.mean()), pct(imp)]);
     }
-    t.note = format!(
-        "paper: 2.9% / 3.9% / 4.3% / 4.2% / 4.1% — jumps then stabilises ({total} cases)"
-    );
+    t.note =
+        format!("paper: 2.9% / 3.9% / 4.3% / 4.2% / 4.1% — jumps then stabilises ({total} cases)");
     t
 }
 
@@ -322,9 +314,7 @@ pub fn table6(scale: Scale) -> TextTable {
         let (h, a, imp) = mean_improvement(&results);
         t.row(vec![name.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
     }
-    t.note = format!(
-        "paper: BLAST 4939->3933 (20.4%), WIEN2K 3452->3234 (6.3%) ({total} cases)"
-    );
+    t.note = format!("paper: BLAST 4939->3933 (20.4%), WIEN2K 3452->3234 (6.3%) ({total} cases)");
     t
 }
 
@@ -337,11 +327,8 @@ pub fn table7(scale: Scale) -> TextTable {
     );
     for &n in &scale.app_parallelism() {
         let mut cells = vec![n.to_string()];
-        for make in
-            [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k]
-        {
-            let cases =
-                app_cases(scale, make, &[n], &ccrs, &betas, &pools, &deltas, &fracs);
+        for make in [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k] {
+            let cases = app_cases(scale, make, &[n], &ccrs, &betas, &pools, &deltas, &fracs);
             let results = run_cases(&cases, false);
             let (_, _, imp) = mean_improvement(&results);
             cells.push(pct(imp));
@@ -361,9 +348,7 @@ pub fn table8(scale: Scale) -> TextTable {
     );
     for &ccr in &APP_CCR {
         let mut cells = vec![format!("{ccr}")];
-        for make in
-            [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k]
-        {
+        for make in [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k] {
             let cases = app_cases(
                 scale,
                 make,
@@ -427,9 +412,7 @@ pub fn fig8(scale: Scale, which: char) -> TextTable {
             _ => unreachable!(),
         }
         let mut cells = vec![format!("{x}")];
-        for make in
-            [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k]
-        {
+        for make in [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k] {
             let mut cases = Vec::new();
             for s in 0..scale.seeds().max(2) {
                 cases.push(Case {
@@ -465,9 +448,10 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
         "Ablation — slot policy (static HEFT, random DAGs)",
         &["policy", "avg makespan"],
     );
-    for (name, policy) in
-        [("insertion (HEFT [19])", SlotPolicy::Insertion), ("end-of-queue (Fig. 3)", SlotPolicy::EndOfQueue)]
-    {
+    for (name, policy) in [
+        ("insertion (HEFT [19])", SlotPolicy::Insertion),
+        ("end-of-queue (Fig. 3)", SlotPolicy::EndOfQueue),
+    ] {
         let mut acc = Running::new();
         for s in 0..seeds * 8 {
             let case = Case {
@@ -487,8 +471,7 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
                 aheft: AheftConfig { slot_policy: policy, ..Default::default() },
                 ..Default::default()
             };
-            let rep =
-                run_static_heft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
+            let rep = run_static_heft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
             acc.push(rep.makespan);
         }
         t1.row(vec![name.into(), mk(acc.mean())]);

@@ -128,18 +128,13 @@ pub fn run_case(case: &Case, with_minmin: bool) -> CaseResult {
 
 /// Run many cases in parallel, preserving order.
 pub fn run_cases(cases: &[Case], with_minmin: bool) -> Vec<CaseResult> {
-    aheft_parcomp::par_map(cases, aheft_parcomp::default_threads(), |c| {
-        run_case(c, with_minmin)
-    })
+    aheft_parcomp::par_map(cases, aheft_parcomp::default_threads(), |c| run_case(c, with_minmin))
 }
 
 /// Mix two seed components into one master seed (splitmix-style), so case
 /// grids get decorrelated streams.
 pub fn mix_seed(a: u64, b: u64) -> u64 {
-    let mut z = a
-        .wrapping_mul(0x9E3779B97F4A7C15)
-        .wrapping_add(b)
-        .wrapping_add(0xD1B54A32D192ED03);
+    let mut z = a.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(b).wrapping_add(0xD1B54A32D192ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)

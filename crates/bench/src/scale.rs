@@ -3,8 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How much of the paper's parameter grid an experiment covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Scale {
     /// A minute's worth of cases: used by integration tests and CI. Sweeps
     /// the interesting axis with minimal averaging over the others.
@@ -66,7 +65,6 @@ impl Scale {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -75,14 +75,10 @@ impl TextTable {
                 s.to_string()
             }
         };
-        let _ = writeln!(
-            csv,
-            "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(csv, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
-            let _ =
-                writeln!(csv, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(csv, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         fs::write(dir.join(format!("{name}.csv")), csv)
     }

@@ -121,13 +121,14 @@ pub fn aheft_reschedule(
         if snapshot.is_finished(job) || pinned.contains_key(&job) {
             continue;
         }
+        let ctx = FeaCtx { snapshot, costs, pinned: &pinned, placed: &placed, clock };
         let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
         for &r in alive {
             let w = costs.comp(job, r);
             // Inner max of Eq. 2: all input files present on r.
             let mut ready = clock;
             for &(p, e) in dag.preds(job) {
-                let t = fea(snapshot, costs, &pinned, &placed, p, e, r, clock);
+                let t = fea(&ctx, p, e, r);
                 if t > ready {
                     ready = t;
                 }
@@ -156,47 +157,49 @@ pub fn aheft_reschedule(
         predicted = predicted.max(ef);
     }
 
-    RescheduleOutcome { plan: Plan::from_assignments(clock, assignments), predicted_makespan: predicted }
+    RescheduleOutcome {
+        plan: Plan::from_assignments(clock, assignments),
+        predicted_makespan: predicted,
+    }
+}
+
+/// Read-only state of one rescheduling pass, threaded through [`fea`].
+struct FeaCtx<'a> {
+    snapshot: &'a Snapshot,
+    costs: &'a CostTable,
+    pinned: &'a HashMap<JobId, (ResourceId, f64)>,
+    placed: &'a HashMap<JobId, (ResourceId, f64)>,
+    clock: f64,
 }
 
 /// Eq. 1 — earliest time `p`'s output file is available on `r` for a
-/// consumer, after `S0` executed up to `clock`.
+/// consumer, after `S0` executed up to `ctx.clock`.
 #[inline]
-fn fea(
-    snapshot: &Snapshot,
-    costs: &CostTable,
-    pinned: &HashMap<JobId, (ResourceId, f64)>,
-    placed: &HashMap<JobId, (ResourceId, f64)>,
-    p: JobId,
-    e: aheft_workflow::EdgeId,
-    r: ResourceId,
-    clock: f64,
-) -> f64 {
-    if snapshot.finished.contains_key(&p) {
-        match snapshot.edge_data_available(p, e, r) {
+fn fea(ctx: &FeaCtx<'_>, p: JobId, e: aheft_workflow::EdgeId, r: ResourceId) -> f64 {
+    if ctx.snapshot.finished.contains_key(&p) {
+        match ctx.snapshot.edge_data_available(p, e, r) {
             // Case 1: the file is on r, or a committed transfer delivers it
             // at a known time (includes the producer having run on r).
             Some(t) => t,
             // Case 2: the file must be (re)transmitted, starting now.
-            None => clock + costs.comm(e),
+            None => ctx.clock + ctx.costs.comm(e),
         }
-    } else if let Some(&(rp, expected_finish)) = pinned.get(&p) {
+    } else if let Some(&(rp, expected_finish)) = ctx.pinned.get(&p) {
         // Case 3 / otherwise for a pinned running predecessor.
         if rp == r {
             expected_finish
         } else {
-            expected_finish + costs.comm(e)
+            expected_finish + ctx.costs.comm(e)
         }
     } else {
         // Case 3 / otherwise: the predecessor is in the new schedule; rank
         // order guarantees it was placed before this job.
-        let &(rp, sft) = placed
-            .get(&p)
-            .expect("rank_u order schedules predecessors before successors");
+        let &(rp, sft) =
+            ctx.placed.get(&p).expect("rank_u order schedules predecessors before successors");
         if rp == r {
             sft
         } else {
-            sft + costs.comm(e)
+            sft + ctx.costs.comm(e)
         }
     }
 }
@@ -390,12 +393,6 @@ mod tests {
     #[should_panic(expected = "empty resource pool")]
     fn empty_pool_panics() {
         let (dag, costs) = fig4();
-        let _ = aheft_reschedule(
-            &dag,
-            &costs,
-            &Snapshot::initial(3),
-            &[],
-            &AheftConfig::default(),
-        );
+        let _ = aheft_reschedule(&dag, &costs, &Snapshot::initial(3), &[], &AheftConfig::default());
     }
 }

@@ -86,7 +86,8 @@ mod tests {
             let p = RandomDagParams { jobs: 40, ..RandomDagParams::paper_default() };
             let wf = generate(&p, &mut rng);
             let costs = wf.sample_table(6, &mut rng);
-            let ins = heft_schedule(&wf.dag, &costs, &HeftConfig { slot_policy: SlotPolicy::Insertion });
+            let ins =
+                heft_schedule(&wf.dag, &costs, &HeftConfig { slot_policy: SlotPolicy::Insertion });
             let eoq =
                 heft_schedule(&wf.dag, &costs, &HeftConfig { slot_policy: SlotPolicy::EndOfQueue });
             // Insertion is not universally better per-instance in theory,

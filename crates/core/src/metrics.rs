@@ -41,9 +41,7 @@ pub fn speedup(dag: &Dag, costs: &CostTable, makespan: f64) -> f64 {
         return 0.0;
     }
     let best_seq = (0..costs.resource_count())
-        .map(|r| {
-            dag.job_ids().map(|j| costs.comp(j, ResourceId::from(r))).sum::<f64>()
-        })
+        .map(|r| dag.job_ids().map(|j| costs.comp(j, ResourceId::from(r))).sum::<f64>())
         .fold(f64::INFINITY, f64::min);
     if best_seq.is_finite() {
         best_seq / makespan
@@ -105,10 +103,7 @@ mod tests {
 
     #[test]
     fn utilization_bounds() {
-        let iv = vec![
-            (JobId(0), ResourceId(0), 0.0, 10.0),
-            (JobId(1), ResourceId(1), 0.0, 5.0),
-        ];
+        let iv = vec![(JobId(0), ResourceId(0), 0.0, 10.0), (JobId(1), ResourceId(1), 0.0, 5.0)];
         let u = utilization(&iv, 2, 10.0);
         assert!((u - 15.0 / 20.0).abs() < 1e-12);
         assert_eq!(utilization(&iv, 0, 10.0), 0.0);

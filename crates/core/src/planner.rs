@@ -24,8 +24,7 @@ use crate::aheft::{aheft_reschedule, AheftConfig, RescheduleOutcome};
 use crate::schedule::all_resources;
 
 /// When the planner evaluates a reschedule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ReschedulePolicy {
     /// Evaluate on every resource-pool change (the paper's strategy).
     #[default]
@@ -43,15 +42,13 @@ pub enum ReschedulePolicy {
     Never,
 }
 
-
 impl ReschedulePolicy {
     /// Does `event` trigger an evaluation under this policy?
     pub fn triggers(&self, event: &Event) -> bool {
         match self {
-            ReschedulePolicy::OnPoolChange => matches!(
-                event,
-                Event::ResourcesJoined { .. } | Event::ResourceLeft { .. }
-            ),
+            ReschedulePolicy::OnPoolChange => {
+                matches!(event, Event::ResourcesJoined { .. } | Event::ResourceLeft { .. })
+            }
             ReschedulePolicy::OnAnyPlannerEvent => event.interests_planner(),
             ReschedulePolicy::Periodic { .. } => matches!(event, Event::Wake),
             ReschedulePolicy::Never => false,
@@ -152,10 +149,8 @@ mod tests {
     #[test]
     fn policy_triggers() {
         let ev_join = Event::ResourcesJoined { count: 1 };
-        let ev_var = Event::PerformanceVariance {
-            job: aheft_workflow::JobId(0),
-            resource: ResourceId(0),
-        };
+        let ev_var =
+            Event::PerformanceVariance { job: aheft_workflow::JobId(0), resource: ResourceId(0) };
         assert!(ReschedulePolicy::OnPoolChange.triggers(&ev_join));
         assert!(!ReschedulePolicy::OnPoolChange.triggers(&ev_var));
         assert!(ReschedulePolicy::OnAnyPlannerEvent.triggers(&ev_var));

@@ -150,8 +150,10 @@ impl<'a> Sim<'a> {
         // Failure injection for the initial pool.
         for r in 0..dynamics.initial {
             if let Some(t) = cfg.failures.sample(&mut sim.rng) {
-                sim.engine
-                    .schedule(SimTime::new(t), Event::ResourceLeft { resource: ResourceId::from(r) });
+                sim.engine.schedule(
+                    SimTime::new(t),
+                    Event::ResourceLeft { resource: ResourceId::from(r) },
+                );
             }
         }
         sim
@@ -240,8 +242,7 @@ impl<'a> Sim<'a> {
     fn abort_job(&mut self, job: JobId) {
         if let Some(r) = self.state.abort(job) {
             self.running_on[r.idx()] = None;
-            self.engine
-                .cancel_if(|e| matches!(e, Event::JobFinished { job: j } if *j == job));
+            self.engine.cancel_if(|e| matches!(e, Event::JobFinished { job: j } if *j == job));
             self.aborted_jobs += 1;
             self.trace.push(TraceEvent::JobAborted { t: self.clock(), job, resource: r });
         }
@@ -257,14 +258,8 @@ impl<'a> Sim<'a> {
             .map(|j| format!("{j}"))
             .take(10)
             .collect();
-        let recent: Vec<String> = self
-            .trace
-            .events()
-            .iter()
-            .rev()
-            .take(30)
-            .map(|e| format!("{e:?}"))
-            .collect();
+        let recent: Vec<String> =
+            self.trace.events().iter().rev().take(30).map(|e| format!("{e:?}")).collect();
         panic!(
             "simulation deadlock at t={}: {}/{} jobs finished; stuck: {:?}; alive pool: {:?}; running_on: {:?}; recent trace (newest first): {:#?}",
             self.clock(),
@@ -364,11 +359,21 @@ fn run_planned(
                 sim.handle_join(count);
                 if pending_forced {
                     pending_forced = !evaluate_and_maybe_replace(
-                        &mut sim, &mut planner, &mut plan, &mut queues, &mut reschedules, true,
+                        &mut sim,
+                        &mut planner,
+                        &mut plan,
+                        &mut queues,
+                        &mut reschedules,
+                        true,
                     );
                 } else if planner.should_evaluate(&ev) {
                     evaluate_and_maybe_replace(
-                        &mut sim, &mut planner, &mut plan, &mut queues, &mut reschedules, false,
+                        &mut sim,
+                        &mut planner,
+                        &mut plan,
+                        &mut queues,
+                        &mut reschedules,
+                        false,
                     );
                 }
             }
@@ -382,13 +387,23 @@ fn run_planned(
                 // replacement is forced for both planned strategies. If the
                 // pool emptied, retry at the next pool change.
                 pending_forced = !evaluate_and_maybe_replace(
-                    &mut sim, &mut planner, &mut plan, &mut queues, &mut reschedules, true,
+                    &mut sim,
+                    &mut planner,
+                    &mut plan,
+                    &mut queues,
+                    &mut reschedules,
+                    true,
                 );
             }
             Event::PerformanceVariance { .. } | Event::Wake => {
                 if planner.should_evaluate(&ev) {
                     evaluate_and_maybe_replace(
-                        &mut sim, &mut planner, &mut plan, &mut queues, &mut reschedules, false,
+                        &mut sim,
+                        &mut planner,
+                        &mut plan,
+                        &mut queues,
+                        &mut reschedules,
+                        false,
                     );
                 }
                 if let (Event::Wake, ReschedulePolicy::Periodic { period }) = (&ev, &policy) {
@@ -480,10 +495,8 @@ fn evaluate_and_maybe_replace(
             .dag
             .job_ids()
             .filter(|&j| {
-                matches!(
-                    sim.state.state(j),
-                    aheft_gridsim::executor::JobState::Running { .. }
-                ) && outcome.plan.assignment(j).is_some()
+                matches!(sim.state.state(j), aheft_gridsim::executor::JobState::Running { .. })
+                    && outcome.plan.assignment(j).is_some()
             })
             .collect();
         for job in running {
@@ -614,14 +627,14 @@ fn run_dynamic_loop(
                     assigned[job.idx()] = None; // will be re-mapped when ready
                 }
                 // Unstarted jobs queued on the dead resource are re-mapped.
-                for i in fifo_next[resource.idx()]..fifo[resource.idx()].len() {
-                    let job = fifo[resource.idx()][i];
+                let rid = resource.idx();
+                for &job in &fifo[rid][fifo_next[rid]..] {
                     if sim.state.is_waiting(job) {
                         assigned[job.idx()] = None;
                     }
                 }
-                fifo[resource.idx()].clear();
-                fifo_next[resource.idx()] = 0;
+                fifo[rid].clear();
+                fifo_next[rid] = 0;
             }
             Event::PerformanceVariance { .. } | Event::Wake => {}
         }
@@ -728,8 +741,7 @@ mod tests {
     #[test]
     fn static_run_reproduces_planned_makespan() {
         let (dag, costs, costgen) = fig4_setup();
-        let report =
-            run_static_heft(&dag, &costs, &costgen, &PoolDynamics::fixed(3), 1);
+        let report = run_static_heft(&dag, &costs, &costgen, &PoolDynamics::fixed(3), 1);
         assert!((report.makespan - 80.0).abs() < 1e-9, "makespan {}", report.makespan);
         assert!((report.makespan - report.initial_predicted).abs() < 1e-9);
         assert_eq!(report.reschedules, 0);
@@ -897,8 +909,7 @@ mod tests {
             policy: ReschedulePolicy::OnAnyPlannerEvent,
             ..Default::default()
         };
-        let report =
-            run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), 7, &cfg);
+        let report = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), 7, &cfg);
         assert!(report.makespan > 0.0);
     }
 }

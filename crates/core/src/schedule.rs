@@ -44,9 +44,6 @@ mod tests {
         b.add_job("a");
         let dag = b.build().unwrap();
         let costs = CostTable::from_dag_comm(&dag, vec![vec![1.0, 2.0, 3.0]], 1.0).unwrap();
-        assert_eq!(
-            all_resources(&costs),
-            vec![ResourceId(0), ResourceId(1), ResourceId(2)]
-        );
+        assert_eq!(all_resources(&costs), vec![ResourceId(0), ResourceId(1), ResourceId(2)]);
     }
 }

@@ -71,11 +71,7 @@ impl EventQueue {
     /// Panics if `at` lies in the past (`at < clock`): the simulation is
     /// causal.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        assert!(
-            at >= self.clock,
-            "cannot schedule event at {at} before clock {}",
-            self.clock
-        );
+        assert!(at >= self.clock, "cannot schedule event at {at} before clock {}", self.clock);
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { time: at, seq: self.seq, event }));
     }
@@ -103,8 +99,7 @@ impl EventQueue {
     /// Drop all pending events matching `pred` (e.g. cancelling the wake-ups
     /// of a replaced plan).
     pub fn cancel_if(&mut self, pred: impl Fn(&Event) -> bool) {
-        let kept: Vec<_> =
-            self.heap.drain().filter(|Reverse(s)| !pred(&s.event)).collect();
+        let kept: Vec<_> = self.heap.drain().filter(|Reverse(s)| !pred(&s.event)).collect();
         self.heap = kept.into();
     }
 }

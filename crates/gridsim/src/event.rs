@@ -50,7 +50,8 @@ mod tests {
         assert!(Event::ResourcesJoined { count: 1 }.interests_planner());
         assert!(Event::ResourceLeft { resource: ResourceId(0) }.interests_planner());
         assert!(!Event::JobFinished { job: JobId(0) }.interests_planner());
-        assert!(!Event::TransferArrived { producer: JobId(0), to: ResourceId(0) }
-            .interests_planner());
+        assert!(
+            !Event::TransferArrived { producer: JobId(0), to: ResourceId(0) }.interests_planner()
+        );
     }
 }

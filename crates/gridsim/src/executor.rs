@@ -101,11 +101,7 @@ impl ExecState {
     /// # Panics
     /// Panics if the job is not `Waiting`.
     pub fn start(&mut self, job: JobId, resource: ResourceId, now: f64, duration: f64) -> f64 {
-        assert!(
-            self.is_waiting(job),
-            "{job} started while in state {:?}",
-            self.states[job.idx()]
-        );
+        assert!(self.is_waiting(job), "{job} started while in state {:?}", self.states[job.idx()]);
         let expected_finish = now + duration;
         self.states[job.idx()] = JobState::Running { resource, ast: now, expected_finish };
         expected_finish
@@ -141,10 +137,7 @@ impl ExecState {
     /// `arrival`. An earlier existing entry wins (a duplicate transfer
     /// cannot make the data *later*).
     pub fn record_transfer(&mut self, e: EdgeId, resource: ResourceId, arrival: f64) {
-        self.transfers
-            .entry((e, resource))
-            .and_modify(|t| *t = t.min(arrival))
-            .or_insert(arrival);
+        self.transfers.entry((e, resource)).and_modify(|t| *t = t.min(arrival)).or_insert(arrival);
     }
 
     /// True if a transfer of edge `e` towards `resource` is committed
@@ -176,9 +169,7 @@ impl ExecState {
     pub fn inputs_ready_on(&self, dag: &Dag, job: JobId, resource: ResourceId, now: f64) -> bool {
         dag.preds(job).iter().all(|&(p, e)| {
             self.is_finished(p)
-                && self
-                    .edge_data_available(p, e, resource)
-                    .is_some_and(|t| t <= now + 1e-9)
+                && self.edge_data_available(p, e, resource).is_some_and(|t| t <= now + 1e-9)
         })
     }
 
@@ -201,13 +192,7 @@ impl ExecState {
                 JobState::Waiting => {}
             }
         }
-        Snapshot {
-            clock,
-            finished,
-            running,
-            transfers: self.transfers.clone(),
-            resource_avail,
-        }
+        Snapshot { clock, finished, running, transfers: self.transfers.clone(), resource_avail }
     }
 }
 

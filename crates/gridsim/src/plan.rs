@@ -44,8 +44,7 @@ impl Plan {
     /// Build from a list of assignments.
     pub fn from_assignments(planned_at: f64, assignments: Vec<Assignment>) -> Self {
         let by_job = assignments.iter().enumerate().map(|(i, a)| (a.job, i)).collect();
-        let predicted_makespan =
-            assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
+        let predicted_makespan = assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
         Self { assignments, by_job, predicted_makespan, planned_at }
     }
 
@@ -112,19 +111,19 @@ impl Plan {
     /// tests and debug assertions rather than the hot path.
     pub fn validate(&self, dag: &Dag, costs: &aheft_workflow::CostTable) -> Vec<String> {
         let mut problems = Vec::new();
-        let r_total = self
-            .assignments
-            .iter()
-            .map(|a| a.resource.idx() + 1)
-            .max()
-            .unwrap_or(0);
+        let r_total = self.assignments.iter().map(|a| a.resource.idx() + 1).max().unwrap_or(0);
         for q in self.resource_queues(r_total) {
             for w in q.windows(2) {
                 if w[0].finish > w[1].start + 1e-6 {
                     problems.push(format!(
                         "overlap on {}: {} [{:.2},{:.2}) vs {} [{:.2},{:.2})",
-                        w[0].resource, w[0].job, w[0].start, w[0].finish, w[1].job,
-                        w[1].start, w[1].finish
+                        w[0].resource,
+                        w[0].job,
+                        w[0].start,
+                        w[0].finish,
+                        w[1].job,
+                        w[1].start,
+                        w[1].finish
                     ));
                 }
             }

@@ -76,8 +76,7 @@ pub struct PoolState {
 impl PoolState {
     /// Start with `initial` resources available at time zero.
     pub fn new(initial: usize) -> Self {
-        let resources =
-            (0..initial).map(|i| Resource::initial(ResourceId::from(i))).collect();
+        let resources = (0..initial).map(|i| Resource::initial(ResourceId::from(i))).collect();
         Self { resources }
     }
 

@@ -3,7 +3,7 @@
 //! Minimal parallel-computation utilities for the experiment harness. The
 //! paper's evaluation runs 500,000 simulation cases; [`par_map`] spreads
 //! such embarrassingly parallel sweeps over OS threads with a shared
-//! work-stealing-style index counter (crossbeam scoped threads + atomics),
+//! work-stealing-style index counter (`std::thread::scope` + atomics),
 //! and [`par_map_reduce`] folds results without collecting intermediates.
 //!
 //! Design notes (per the repo's HPC guides):
@@ -12,8 +12,9 @@
 //!   one (each case carries its own RNG seed);
 //! * chunked index claiming (`CHUNK` items per atomic fetch) keeps
 //!   contention negligible for micro-tasks;
-//! * no unsafe code: slot handout uses per-item `OnceLock`-free writes via
-//!   `Mutex`-free `split_at_mut` chunking.
+//! * no unsafe code and no external dependencies: workers send
+//!   `(index, value)` pairs over an `mpsc` channel and the caller scatters
+//!   them into the pre-sized output.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -49,18 +50,16 @@ where
     out.resize_with(n, || None);
     let next = AtomicUsize::new(0);
 
-    // Hand each worker a raw pointer-free view: split the output into
-    // per-item cells via an UnsafeCell-free trick — collect results per
-    // worker and write back after join would lose ordering cheaply, so
-    // instead workers send (index, value) pairs over a channel and the
-    // caller scatters them.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, U)>();
-    crossbeam::thread::scope(|s| {
+    // Workers claim chunked index ranges and send (index, value) pairs over
+    // a channel; the caller scatters them into pre-allocated slots, so the
+    // output order equals the input order regardless of claim order.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, U)>();
+    std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let start = next.fetch_add(CHUNK, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -77,8 +76,7 @@ where
         for (i, v) in rx {
             out[i] = Some(v);
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     out.into_iter().map(|v| v.expect("every index produced")).collect()
 }
@@ -86,7 +84,7 @@ where
 /// Parallel map-reduce: apply `map` to each item and fold the results with
 /// `reduce` (associative, commutative) starting from `identity` per thread.
 /// Reduction order is unspecified, so `reduce` must be order-insensitive
-/// (e.g. merging [`Running`](https://docs.rs/) accumulators or summing).
+/// (e.g. merging streaming-statistics accumulators or summing).
 pub fn par_map_reduce<T, A, F, G>(items: &[T], threads: usize, identity: A, map: F, reduce: G) -> A
 where
     T: Sync,
@@ -101,14 +99,14 @@ where
     let threads = threads.min(n);
     let next = AtomicUsize::new(0);
 
-    let partials: Vec<A> = crossbeam::thread::scope(|s| {
+    let partials: Vec<A> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
                 let map = &map;
                 let reduce = &reduce;
                 let acc0 = identity.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut acc = acc0;
                     loop {
                         let start = next.fetch_add(CHUNK, Ordering::Relaxed);
@@ -125,8 +123,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope failed");
+    });
 
     partials.into_iter().fold(identity, reduce)
 }
@@ -173,8 +170,7 @@ mod tests {
     #[test]
     fn par_map_reduce_sums() {
         let items: Vec<u64> = (1..=10_000).collect();
-        let total =
-            par_map_reduce(&items, 8, 0u64, |&x| x, |a, b| a + b);
+        let total = par_map_reduce(&items, 8, 0u64, |&x| x, |a, b| a + b);
         assert_eq!(total, 10_000 * 10_001 / 2);
     }
 

@@ -47,11 +47,7 @@ pub fn shape(dag: &Dag) -> ShapeSummary {
     let widths = width_profile(dag);
     let depth = widths.len();
     let max_width = widths.iter().copied().max().unwrap_or(0);
-    let mean_width = if depth == 0 {
-        0.0
-    } else {
-        dag.job_count() as f64 / depth as f64
-    };
+    let mean_width = if depth == 0 { 0.0 } else { dag.job_count() as f64 / depth as f64 };
     ShapeSummary {
         jobs: dag.job_count(),
         edges: dag.edge_count(),
@@ -71,9 +67,7 @@ pub fn shape(dag: &Dag) -> ShapeSummary {
 /// connected.
 pub fn is_flow_connected(dag: &Dag) -> bool {
     dag.job_count() == 1
-        || dag
-            .job_ids()
-            .all(|j| !dag.preds(j).is_empty() || !dag.succs(j).is_empty())
+        || dag.job_ids().all(|j| !dag.preds(j).is_empty() || !dag.succs(j).is_empty())
 }
 
 /// Serial fraction estimate: fraction of levels of width 1. WIEN2K's

@@ -1,5 +1,7 @@
 //! Validated DAG construction.
 
+use std::collections::HashSet;
+
 use crate::error::WorkflowError;
 use crate::graph::{Dag, Edge, EdgeId, Job, OpClass};
 use crate::ids::JobId;
@@ -22,6 +24,10 @@ use crate::topo;
 pub struct DagBuilder {
     jobs: Vec<Job>,
     edges: Vec<Edge>,
+    // Duplicate detection must stay O(1) per edge: generators build DAGs
+    // with tens of thousands of edges, and a linear scan here turns
+    // construction quadratic.
+    edge_set: HashSet<(JobId, JobId)>,
 }
 
 impl DagBuilder {
@@ -32,7 +38,11 @@ impl DagBuilder {
 
     /// Create a builder pre-sized for `jobs` jobs and `edges` edges.
     pub fn with_capacity(jobs: usize, edges: usize) -> Self {
-        Self { jobs: Vec::with_capacity(jobs), edges: Vec::with_capacity(edges) }
+        Self {
+            jobs: Vec::with_capacity(jobs),
+            edges: Vec::with_capacity(edges),
+            edge_set: HashSet::with_capacity(edges),
+        }
     }
 
     /// Add a job with [`OpClass::UNIQUE`]; returns its id.
@@ -72,7 +82,7 @@ impl DagBuilder {
                 "edge {src} -> {dst} has data volume {data}"
             )));
         }
-        if self.edges.iter().any(|e| e.src == src && e.dst == dst) {
+        if !self.edge_set.insert((src, dst)) {
             return Err(WorkflowError::DuplicateEdge(src, dst));
         }
         let id = EdgeId(self.edges.len() as u32);
@@ -82,7 +92,7 @@ impl DagBuilder {
 
     /// Returns `true` if an edge `src -> dst` has already been added.
     pub fn has_edge(&self, src: JobId, dst: JobId) -> bool {
-        self.edges.iter().any(|e| e.src == src && e.dst == dst)
+        self.edge_set.contains(&(src, dst))
     }
 
     /// Finalize: verify acyclicity, build adjacency and the cached

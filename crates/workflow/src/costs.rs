@@ -179,9 +179,7 @@ impl CostTable {
             return 0.0;
         }
         let mean_comm = self.comm.iter().sum::<f64>() / self.comm.len() as f64;
-        let mean_comp = (0..self.comp.len())
-            .map(|i| self.avg_comp(JobId::from(i)))
-            .sum::<f64>()
+        let mean_comp = (0..self.comp.len()).map(|i| self.avg_comp(JobId::from(i))).sum::<f64>()
             / self.comp.len() as f64;
         if mean_comp == 0.0 {
             0.0
@@ -311,8 +309,7 @@ mod tests {
     #[test]
     fn add_resource_extends_all_rows() {
         let d = tiny_dag();
-        let mut t =
-            CostTable::from_dag_comm(&d, vec![vec![1.0], vec![2.0]], 1.0).unwrap();
+        let mut t = CostTable::from_dag_comm(&d, vec![vec![1.0], vec![2.0]], 1.0).unwrap();
         let id = t.add_resource(&[5.0, 6.0]).unwrap();
         assert_eq!(id, ResourceId(1));
         assert_eq!(t.resource_count(), 2);
@@ -330,8 +327,7 @@ mod tests {
     #[test]
     fn truncated_drops_columns() {
         let d = tiny_dag();
-        let t =
-            CostTable::from_dag_comm(&d, vec![vec![1.0, 9.0], vec![2.0, 9.0]], 1.0).unwrap();
+        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 9.0], vec![2.0, 9.0]], 1.0).unwrap();
         let t2 = t.truncated(1);
         assert_eq!(t2.resource_count(), 1);
         assert!((t2.avg_comp(JobId(0)) - 1.0).abs() < 1e-12);

@@ -97,10 +97,7 @@ pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> Generate
     }
     let dag = b.build().expect("BLAST shape is acyclic");
 
-    let omega: Vec<f64> = dag
-        .job_ids()
-        .map(|j| class_omega[dag.job(j).op.0 as usize])
-        .collect();
+    let omega: Vec<f64> = dag.job_ids().map(|j| class_omega[dag.job(j).op.0 as usize]).collect();
 
     // Normalise edge volumes so the measured CCR matches the request.
     let mut volumes: Vec<f64> = dag.edges().iter().map(|e| e.data).collect();
@@ -117,10 +114,7 @@ pub(crate) fn sample_class_omegas<R: Rng + ?Sized>(
     omega_dag: f64,
     weights: &[f64],
 ) -> Vec<f64> {
-    weights
-        .iter()
-        .map(|w| omega_dag * w * rng.random_range(0.75..1.25))
-        .collect()
+    weights.iter().map(|w| omega_dag * w * rng.random_range(0.75..1.25)).collect()
 }
 
 /// Rebuild a DAG with new edge volumes (same structure).

@@ -55,9 +55,8 @@ pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> Generate
     let n = params.parallelism;
 
     let mut b = DagBuilder::with_capacity(3 * n + 5, 6 * n);
-    let projects: Vec<_> = (0..n)
-        .map(|i| b.add_job_with_class(format!("mProject_{}", i + 1), ops::PROJECT))
-        .collect();
+    let projects: Vec<_> =
+        (0..n).map(|i| b.add_job_with_class(format!("mProject_{}", i + 1), ops::PROJECT)).collect();
     let diffs: Vec<_> = (0..n - 1)
         .map(|i| b.add_job_with_class(format!("mDiffFit_{}_{}", i + 1, i + 2), ops::DIFF_FIT))
         .collect();
@@ -71,11 +70,8 @@ pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> Generate
     let shrink = b.add_job_with_class("mShrink", ops::SHRINK);
     let jpeg = b.add_job_with_class("mJPEG", ops::JPEG);
 
-    let class_omega = sample_class_omegas(
-        rng,
-        params.omega_dag,
-        &[1.4, 0.9, 0.4, 0.8, 1.1, 0.4, 1.0, 0.5, 0.4],
-    );
+    let class_omega =
+        sample_class_omegas(rng, params.omega_dag, &[1.4, 0.9, 0.4, 0.8, 1.1, 0.4, 1.0, 0.5, 0.4]);
     let vol = |rng: &mut R| params.omega_dag * rng.random_range(0.5..1.5);
 
     for i in 0..n - 1 {
@@ -99,8 +95,7 @@ pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> Generate
 
     let dag = b.build().expect("Montage shape is acyclic");
 
-    let omega: Vec<f64> =
-        dag.job_ids().map(|j| class_omega[dag.job(j).op.0 as usize]).collect();
+    let omega: Vec<f64> = dag.job_ids().map(|j| class_omega[dag.job(j).op.0 as usize]).collect();
     let mut volumes: Vec<f64> = dag.edges().iter().map(|e| e.data).collect();
     scale_comm_to_ccr(&mut volumes, &omega, params.ccr);
     let dag = rebuild_with_volumes(&dag, &volumes);

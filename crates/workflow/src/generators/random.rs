@@ -137,8 +137,7 @@ pub fn generate<R: Rng + ?Sized>(params: &RandomDagParams, rng: &mut R) -> Gener
     let dag = b.build().expect("layered construction is acyclic");
 
     // --- costs ------------------------------------------------------------
-    let omega: Vec<f64> =
-        (0..v).map(|_| rng.random_range(0.0..2.0 * params.omega_dag)).collect();
+    let omega: Vec<f64> = (0..v).map(|_| rng.random_range(0.0..2.0 * params.omega_dag)).collect();
     let costgen = CostGenerator::new(omega, params.beta).expect("beta validated by params");
 
     GeneratedWorkflow { dag, costgen }
@@ -180,10 +179,7 @@ mod tests {
         let wf = generate(&p, &mut rng);
         let entries = wf.dag.entry_jobs();
         for j in wf.dag.job_ids() {
-            assert!(
-                !wf.dag.preds(j).is_empty() || entries.contains(&j),
-                "{j} is isolated"
-            );
+            assert!(!wf.dag.preds(j).is_empty() || entries.contains(&j), "{j} is isolated");
         }
     }
 

@@ -56,13 +56,11 @@ pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> Generate
     let mut b = DagBuilder::with_capacity(2 * n + 8, 4 * n + 6);
     let stage_in = b.add_job_with_class("StageIn", ops::STAGE_IN);
     let lapw0 = b.add_job_with_class("LAPW0", ops::LAPW0);
-    let lapw1: Vec<_> = (0..n)
-        .map(|i| b.add_job_with_class(format!("LAPW1_K{}", i + 1), ops::LAPW1))
-        .collect();
+    let lapw1: Vec<_> =
+        (0..n).map(|i| b.add_job_with_class(format!("LAPW1_K{}", i + 1), ops::LAPW1)).collect();
     let fermi = b.add_job_with_class("LAPW2_FERMI", ops::FERMI);
-    let lapw2: Vec<_> = (0..n)
-        .map(|i| b.add_job_with_class(format!("LAPW2_K{}", i + 1), ops::LAPW2))
-        .collect();
+    let lapw2: Vec<_> =
+        (0..n).map(|i| b.add_job_with_class(format!("LAPW2_K{}", i + 1), ops::LAPW2)).collect();
     let sumpara = b.add_job_with_class("Sumpara", ops::SUMPARA);
     let lcore = b.add_job_with_class("LCore", ops::LCORE);
     let mixer = b.add_job_with_class("Mixer", ops::MIXER);
@@ -97,8 +95,7 @@ pub fn generate<R: Rng + ?Sized>(params: &AppDagParams, rng: &mut R) -> Generate
 
     let dag = b.build().expect("WIEN2K shape is acyclic");
 
-    let omega: Vec<f64> =
-        dag.job_ids().map(|j| class_omega[dag.job(j).op.0 as usize]).collect();
+    let omega: Vec<f64> = dag.job_ids().map(|j| class_omega[dag.job(j).op.0 as usize]).collect();
     let mut volumes: Vec<f64> = dag.edges().iter().map(|e| e.data).collect();
     scale_comm_to_ccr(&mut volumes, &omega, params.ccr);
     let dag = rebuild_with_volumes(&dag, &volumes);

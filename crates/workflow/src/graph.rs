@@ -152,10 +152,7 @@ impl Dag {
 
     /// Look up the edge between two jobs, if any.
     pub fn edge_between(&self, src: JobId, dst: JobId) -> Option<EdgeId> {
-        self.succs(src)
-            .iter()
-            .find(|(d, _)| *d == dst)
-            .map(|&(_, e)| e)
+        self.succs(src).iter().find(|(d, _)| *d == dst).map(|&(_, e)| e)
     }
 
     /// Sum of data volumes over all edges.

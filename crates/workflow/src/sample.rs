@@ -101,17 +101,9 @@ mod tests {
         let d = fig4_dag();
         let t = fig4_costs_initial();
         let r = rank_upward(&d, &t);
-        let expect = [
-            108.0, 77.0, 80.0, 80.0, 69.0, 63.333, 42.667, 35.667, 44.333, 14.667,
-        ];
+        let expect = [108.0, 77.0, 80.0, 80.0, 69.0, 63.333, 42.667, 35.667, 44.333, 14.667];
         for (i, &want) in expect.iter().enumerate() {
-            assert!(
-                (r[i] - want).abs() < 0.01,
-                "rank_u(n{}) = {}, want {}",
-                i + 1,
-                r[i],
-                want
-            );
+            assert!((r[i] - want).abs() < 0.01, "rank_u(n{}) = {}, want {}", i + 1, r[i], want);
         }
     }
 
@@ -125,8 +117,7 @@ mod tests {
         assert_eq!(order[9], JobId(9));
         // n3 and n4 tie at 80; topological position breaks the tie
         // deterministically.
-        let pos =
-            |j: u32| order.iter().position(|&x| x == JobId(j - 1)).unwrap();
+        let pos = |j: u32| order.iter().position(|&x| x == JobId(j - 1)).unwrap();
         assert!(pos(3) < pos(2) && pos(4) < pos(2));
         assert!(pos(2) < pos(5));
         assert!(pos(9) < pos(7) && pos(7) < pos(8));
@@ -136,8 +127,8 @@ mod tests {
     fn r4_column_matches_full_table() {
         let col = fig4_r4_column();
         let full = fig4_costs_full();
-        for i in 0..10 {
-            assert_eq!(col[i], full.comp(JobId(i as u32), crate::ids::ResourceId(3)));
+        for (i, &c) in col.iter().enumerate().take(10) {
+            assert_eq!(c, full.comp(JobId(i as u32), crate::ids::ResourceId(3)));
         }
     }
 }

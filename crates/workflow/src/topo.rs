@@ -16,8 +16,7 @@ pub(crate) fn kahn_order(
     // A BinaryHeap of Reverse(job) would give the same order; with the small
     // frontiers typical of workflow DAGs a sorted Vec used as a stack is
     // cheaper and simpler.
-    let mut ready: Vec<JobId> =
-        (0..v).map(JobId::from).filter(|j| indeg[j.idx()] == 0).collect();
+    let mut ready: Vec<JobId> = (0..v).map(JobId::from).filter(|j| indeg[j.idx()] == 0).collect();
     ready.sort_unstable_by(|a, b| b.cmp(a)); // pop() takes the smallest id
     let mut order = Vec::with_capacity(v);
     while let Some(j) = ready.pop() {
@@ -43,12 +42,7 @@ pub(crate) fn kahn_order(
 pub fn levels(dag: &Dag) -> Vec<u32> {
     let mut lvl = vec![0u32; dag.job_count()];
     for &j in dag.topo_order() {
-        let l = dag
-            .preds(j)
-            .iter()
-            .map(|&(p, _)| lvl[p.idx()] + 1)
-            .max()
-            .unwrap_or(0);
+        let l = dag.preds(j).iter().map(|&(p, _)| lvl[p.idx()] + 1).max().unwrap_or(0);
         lvl[j.idx()] = l;
     }
     lvl
@@ -129,9 +123,6 @@ mod tests {
     #[test]
     fn topo_is_deterministic_smallest_first() {
         let d = fork_join();
-        assert_eq!(
-            d.topo_order().to_vec(),
-            vec![JobId(0), JobId(1), JobId(2), JobId(3), JobId(4)]
-        );
+        assert_eq!(d.topo_order().to_vec(), vec![JobId(0), JobId(1), JobId(2), JobId(3), JobId(4)]);
     }
 }

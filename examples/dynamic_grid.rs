@@ -27,8 +27,10 @@ fn main() {
     let report = run_aheft_with(&dag, &costs, &costgen, &dynamics, 1, &cfg);
 
     println!("== worked example: r4 joins at t=15 ==");
-    println!("makespan {}, {} evaluation(s), {} reschedule(s)\n", report.makespan,
-        report.evaluations, report.reschedules);
+    println!(
+        "makespan {}, {} evaluation(s), {} reschedule(s)\n",
+        report.makespan, report.evaluations, report.reschedules
+    );
     println!("{}", report.trace.gantt(&dag, 4, 64));
 
     // --- a failing grid -------------------------------------------------

@@ -10,9 +10,9 @@
 //! scheduling pass the run-time planner uses, so they are exactly the
 //! predictions the paper's online system-management extension would serve.
 
-use aheft::prelude::*;
 use aheft::core::aheft::AheftConfig;
 use aheft::gridsim::executor::Snapshot;
+use aheft::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,8 +35,7 @@ fn main() {
     println!("What if we ADD k identical-distribution resources?");
     println!("  k   predicted makespan   gain");
     for k in 0..=4usize {
-        let columns: Vec<Vec<f64>> =
-            (0..k).map(|_| wf.costgen.sample_column(&mut rng)).collect();
+        let columns: Vec<Vec<f64>> = (0..k).map(|_| wf.costgen.sample_column(&mut rng)).collect();
         let report = what_if(
             &wf.dag,
             &costs,

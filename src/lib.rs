@@ -45,9 +45,9 @@ pub mod prelude {
     pub use aheft_core::heft::{heft_schedule, HeftConfig};
     pub use aheft_core::metrics::{improvement_rate, schedule_length_ratio};
     pub use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft, RunReport};
-    pub use aheft_core::{DynamicHeuristic, SlotPolicy};
     pub use aheft_core::schedule::Schedule;
     pub use aheft_core::whatif::{what_if, WhatIfQuery};
+    pub use aheft_core::{DynamicHeuristic, SlotPolicy};
     pub use aheft_gridsim::pool::PoolDynamics;
     pub use aheft_workflow::generators::blast::AppDagParams;
     pub use aheft_workflow::generators::random::RandomDagParams;

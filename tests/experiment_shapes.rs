@@ -23,8 +23,9 @@ fn averages(
         h += run_static_heft(&wf.dag, &costs, &wf.costgen, dynamics, seed).makespan;
         a += run_aheft(&wf.dag, &costs, &wf.costgen, dynamics, seed).makespan;
         if with_minmin {
-            m += run_dynamic(&wf.dag, &costs, &wf.costgen, dynamics, seed, DynamicHeuristic::MinMin)
-                .makespan;
+            m +=
+                run_dynamic(&wf.dag, &costs, &wf.costgen, dynamics, seed, DynamicHeuristic::MinMin)
+                    .makespan;
         }
     }
     let n = seeds as f64;
@@ -51,10 +52,7 @@ fn minmin_loses_badly_on_data_intensive_workflows() {
     let low = ratio_at(0.1);
     let high = ratio_at(10.0);
     assert!(high > 1.3, "Min-Min should be far worse than HEFT at CCR 10, ratio {high:.2}");
-    assert!(
-        high > low,
-        "the Min-Min/HEFT gap must widen with CCR: {low:.2} -> {high:.2}"
-    );
+    assert!(high > low, "the Min-Min/HEFT gap must widen with CCR: {low:.2} -> {high:.2}");
 }
 
 #[test]
@@ -92,10 +90,7 @@ fn blast_benefits_from_growth_more_than_a_static_pool() {
     assert!((hf - af).abs() < 1e-6, "no events -> no reschedules -> equal makespans");
     let growing = PoolDynamics::periodic_growth(8, 400.0, 0.25);
     let (hg, ag, _) = averages(&gen, 8, &growing, 3, false);
-    assert!(
-        ag < hg - 1e-6,
-        "with arrivals AHEFT ({ag:.0}) must improve on HEFT ({hg:.0})"
-    );
+    assert!(ag < hg - 1e-6, "with arrivals AHEFT ({ag:.0}) must improve on HEFT ({hg:.0})");
 }
 
 #[test]

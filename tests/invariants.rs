@@ -20,11 +20,7 @@ fn arb_params() -> impl Strategy<Value = (RandomDagParams, usize, u64)> {
         0u64..1_000_000,
     )
         .prop_map(|(jobs, ccr, out_degree, beta, resources, seed)| {
-            (
-                RandomDagParams { jobs, ccr, out_degree, beta, omega_dag: 100.0 },
-                resources,
-                seed,
-            )
+            (RandomDagParams { jobs, ccr, out_degree, beta, omega_dag: 100.0 }, resources, seed)
         })
 }
 

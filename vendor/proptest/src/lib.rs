@@ -1,0 +1,285 @@
+//! Offline vendored stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This stand-in implements the subset the workspace's
+//! property-based tests use: [`Strategy`] with `prop_map`, integer-range and
+//! [`Just`] strategies, tuple composition, `prop_oneof!`, the `proptest!`
+//! test-generating macro, and `prop_assert!`/`prop_assert_eq!`. Cases are
+//! generated from per-case deterministic seeds (no shrinking — a failing
+//! case prints its index and message instead).
+
+use std::fmt;
+
+#[doc(hidden)]
+pub use rand as rand_stub;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Error raised by `prop_assert!` family; carries the failure message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+/// Uniform choice between same-typed strategies (backs `prop_oneof!`).
+pub struct Union<S> {
+    arms: Vec<S>,
+}
+
+impl<S> Union<S> {
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].new_value(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+#[doc(hidden)]
+pub fn case_rng(case: u32) -> StdRng {
+    // Distinct deterministic stream per case index.
+    StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Choose uniformly among strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($arm),+])
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Generate `#[test]` functions that run a body over strategy-drawn inputs.
+///
+/// Grammar subset: an optional `#![proptest_config(..)]` header followed by
+/// test functions of the form `fn name(pattern in strategy) { .. }` (the
+/// `#[test]` attribute in the source is carried through the `$(#[$meta])*`
+/// repetition).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($(#[$meta:meta])* fn $name:ident($pat:pat in $strategy:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = $strategy;
+                for case in 0..config.cases {
+                    let mut case_rng = $crate::case_rng(case);
+                    let $pat = $crate::Strategy::new_value(&strategy, &mut case_rng);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!("proptest case {case}/{} failed: {err}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($pat:pat in $strategy:expr) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($pat in $strategy) $body)*
+        }
+    };
+}
+
+/// `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples((a, b, c) in (1usize..10, prop_oneof![Just(0.5f64), Just(2.0)], 0u64..100)) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b == 0.5 || b == 2.0);
+            prop_assert!(c < 100);
+        }
+
+        /// prop_map transforms drawn values.
+        #[test]
+        fn mapping_works(v in (2usize..5).prop_map(|x| x * 10)) {
+            prop_assert!(v == 20 || v == 30 || v == 40, "v = {}", v);
+            prop_assert_eq!(v % 10, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_assertion_panics_with_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(unused)]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x too small: {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-b715315cb9b07944.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-b715315cb9b07944.rlib: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-b715315cb9b07944.rmeta: src/lib.rs
+
+src/lib.rs:

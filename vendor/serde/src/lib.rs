@@ -1,0 +1,411 @@
+//! Offline vendored stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This stand-in keeps `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` source-compatible by providing a much
+//! simpler *value-model* design: serializable types convert to/from a single
+//! [`Value`] tree, and the companion vendored `serde_json` renders/parses
+//! that tree as JSON. Only the surface this workspace uses is implemented —
+//! non-generic structs and enums (externally tagged), the std collection and
+//! scalar types that appear as fields, and lossless round-trips.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A serialized value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map. Keys are full values so maps keyed by
+    /// newtype ids (serialized as numbers) round-trip; JSON rendering
+    /// stringifies scalar keys the way `serde_json` does.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field by name; absent fields read as `Null` so
+    /// `Option` fields can default to `None`.
+    pub fn field<'a>(&'a self, name: &str) -> &'a Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    // Map keys arrive as strings; parse them back.
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| Error::msg(format!("invalid integer key {s:?}")))?,
+                    other => {
+                        return Err(Error::msg(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::msg(format!("integer {n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| Error::msg(format!("invalid integer key {s:?}")))?,
+                    other => {
+                        return Err(Error::msg(format!("expected integer, got {other:?}")))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| Error::msg(format!("invalid float key {s:?}"))),
+                    other => Err(Error::msg(format!("expected float, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            Value::Str(s) if s == "true" => Ok(true),
+            Value::Str(s) if s == "false" => Ok(false),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::msg(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::msg(format!("expected sequence, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::msg(format!("expected map, got {v:?}")))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::msg(format!("expected map, got {v:?}")))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| Error::msg(format!("expected tuple sequence, got {v:?}")))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected tuple of {expected} elements, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}

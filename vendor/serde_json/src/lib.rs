@@ -1,0 +1,455 @@
+//! Offline vendored stand-in for [`serde_json`]: renders and parses the
+//! vendored `serde` [`Value`] tree as standard JSON. Supports the full JSON
+//! grammar (objects, arrays, strings with escapes incl. `\uXXXX` surrogate
+//! pairs, numbers, booleans, null) plus `serde_json`'s convention of
+//! stringifying scalar map keys.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value())?;
+    Ok(out)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {}", parser.pos)));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_key(out, k)?;
+                out.push(':');
+                write_value(out, val)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Shortest round-trippable representation; force a `.0` on integral
+        // floats so they re-parse as F64, matching serde_json output.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // serde_json renders non-finite floats as null.
+        out.push_str("null");
+    }
+}
+
+/// JSON object keys must be strings; stringify scalar keys the way
+/// `serde_json` does for integer-keyed maps.
+fn write_key(out: &mut String, k: &Value) -> Result<()> {
+    match k {
+        Value::Str(s) => {
+            write_string(out, s);
+            Ok(())
+        }
+        Value::U64(n) => {
+            write_string(out, &n.to_string());
+            Ok(())
+        }
+        Value::I64(n) => {
+            write_string(out, &n.to_string());
+            Ok(())
+        }
+        Value::F64(f) => {
+            write_string(out, &format!("{f}"));
+            Ok(())
+        }
+        Value::Bool(b) => {
+            write_string(out, if *b { "true" } else { "false" });
+            Ok(())
+        }
+        other => Err(Error::msg(format!("map key must be scalar, got {other:?}"))),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') | Some(b'f') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::msg(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::msg(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((Value::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at offset {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at offset {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::msg("invalid \\u escape"))?
+                            };
+                            s.push(c);
+                            continue; // parse_hex4 already advanced
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "invalid escape {:?} at offset {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::msg("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::msg("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi\n\"x\"".to_string()).unwrap(), "\"hi\\n\\\"x\\\"\"");
+        assert_eq!(from_str::<String>("\"hi\\n\\\"x\\\"\"").unwrap(), "hi\n\"x\"");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f64, 2.5, -3.25];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3u64, vec![1u32, 2]);
+        m.insert(7u64, vec![]);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, "{\"3\":[1,2],\"7\":[]}");
+        assert_eq!(from_str::<std::collections::BTreeMap<u64, Vec<u32>>>(&s).unwrap(), m);
+
+        let opt: Option<f64> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<f64>>("4.5").unwrap(), Some(4.5));
+
+        let pair = (1u32, 2.5f64);
+        let s = to_string(&pair).unwrap();
+        assert_eq!(from_str::<(u32, f64)>(&s).unwrap(), pair);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        let s = to_string(&"é😀".to_string()).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("4x").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn value_parses_nested() {
+        let v: Value = from_str("{\"a\":[1,2.5,null,{\"b\":true}]}").unwrap();
+        match &v {
+            Value::Map(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert!(matches!(&entries[0].1, Value::Seq(items) if items.len() == 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
