@@ -39,6 +39,39 @@ fn bench_event_queue(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of aborting running jobs mid-simulation: each abort must cancel the
+/// job's pending completion event in the future-event list. With lazy
+/// tombstones this is O(1) per abort instead of O(pending events).
+fn bench_event_queue_abort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_abort");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut tokens = Vec::with_capacity(100);
+                for i in 0..n {
+                    let tok = q.schedule(
+                        SimTime::new(i as f64),
+                        Event::JobFinished { job: JobId(i as u32) },
+                    );
+                    if i < 100 {
+                        tokens.push(tok);
+                    }
+                }
+                for tok in tokens {
+                    q.cancel(tok);
+                }
+                let mut count = 0u64;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_run");
     let mut rng = StdRng::seed_from_u64(4);
@@ -62,6 +95,6 @@ fn bench_full_runs(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_full_runs
+    targets = bench_event_queue, bench_event_queue_abort, bench_full_runs
 }
 criterion_main!(benches);

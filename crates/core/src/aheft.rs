@@ -1,8 +1,8 @@
 //! AHEFT — the paper's HEFT-based adaptive rescheduling algorithm (§3.4).
 //!
 //! [`aheft_reschedule`] implements the `schedule(S0, P, H)` procedure of the
-//! paper's Fig. 3 over an execution [`Snapshot`] taken at the rescheduling
-//! instant `clock`:
+//! paper's Fig. 3 over an execution [`SnapshotView`] taken at the
+//! rescheduling instant `clock`:
 //!
 //! 1. compute `rank_u` for the remaining jobs against the *current* pool,
 //! 2. walk the jobs in non-increasing rank order,
@@ -27,14 +27,25 @@
 //! jobs but n1" (i.e. running jobs may be aborted and restarted), which is
 //! [`ReschedulableSet::AllUnfinished`]; [`ReschedulableSet::NotStarted`]
 //! pins running jobs to their resources instead (DESIGN.md §4.2).
+//!
+//! ## Dense, allocation-free hot path
+//!
+//! `schedule(S0, P, H)` re-runs at **every** resource-pool change, and the
+//! paper's evaluation sweeps ~500k simulated cases — this module is the hot
+//! path of the whole repository. All mutable state lives in a reusable
+//! [`ScheduleWorkspace`] (job-indexed slices, per-resource slot tables,
+//! rank/order buffers): after its buffers reach steady-state capacity, a
+//! scheduling pass performs **zero heap allocations**
+//! (`tests/zero_alloc.rs` pins this with a counting allocator). The FEA
+//! case of each predecessor (Eq. 1) is classified **once per job** before
+//! the resource loop — O(preds) state lookups instead of O(R · preds) —
+//! and the inner loop touches only dense arrays.
 
-use std::collections::HashMap;
-
-use aheft_gridsim::executor::Snapshot;
+use aheft_gridsim::executor::{JobState, Snapshot, SnapshotView};
 use aheft_gridsim::plan::{Assignment, Plan};
 use aheft_gridsim::reservation::{SlotPolicy, SlotTable};
-use aheft_workflow::rank::{priority_order_from_ranks, rank_upward_over};
-use aheft_workflow::{CostTable, Dag, JobId, ResourceId};
+use aheft_workflow::rank::{priority_order_from_ranks_into, rank_upward_over_into};
+use aheft_workflow::{CostTable, Dag, EdgeId, JobId, ResourceId};
 use serde::{Deserialize, Serialize};
 
 /// Which not-yet-finished jobs a reschedule may move.
@@ -69,11 +80,74 @@ pub struct RescheduleOutcome {
     pub predicted_makespan: f64,
 }
 
-/// Run one AHEFT scheduling pass over `snapshot`.
-///
-/// `alive` lists the resources currently in the pool (cost-table columns of
-/// departed resources are skipped). For the initial schedule pass
-/// [`Snapshot::initial`] and the full resource list.
+/// Sentinel for "no resource recorded" in the dense placement arrays.
+const UNPLACED: u32 = u32::MAX;
+
+/// Eq. 1 case of one predecessor, classified once per job (outside the
+/// resource loop).
+#[derive(Debug, Clone, Copy)]
+enum PredFea {
+    /// The predecessor finished: its file sits on `home` since `aft`;
+    /// elsewhere it is either a committed transfer (checked per resource
+    /// against the ledger) or retransmitted from `clock` (Case 2), arriving
+    /// at `retransmit`.
+    Finished { home: ResourceId, aft: f64, edge: EdgeId, retransmit: f64 },
+    /// The predecessor is pinned or was placed earlier in this pass on `r`,
+    /// finishing at `t`; its file reaches any other resource at `t + comm`.
+    Scheduled { r: ResourceId, t: f64, comm: f64 },
+}
+
+/// Reusable scratch memory for the scheduling hot path, owned by
+/// [`crate::planner::AdaptivePlanner`] and threaded through
+/// [`aheft_reschedule_with`] / [`crate::heft::heft_schedule_with`] /
+/// [`crate::whatif::what_if_with`]. Every buffer is dense and indexed by
+/// job or resource id; nothing is allocated per pass once the buffers have
+/// grown to the problem size.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleWorkspace {
+    /// `rank_u` per job against the current pool.
+    ranks: Vec<f64>,
+    /// Jobs in non-increasing rank order.
+    order: Vec<JobId>,
+    /// Per-resource reservation timelines (cleared, not reallocated).
+    tables: Vec<SlotTable>,
+    /// Earliest availability floor per resource (∞ for dead resources).
+    floor: Vec<f64>,
+    /// Dense placement state: resource of a pinned/placed job ([`UNPLACED`]
+    /// when neither) and its (expected) finish time.
+    slot_res: Vec<u32>,
+    slot_time: Vec<f64>,
+    /// Per-job FEA classification scratch (Eq. 1, hoisted out of the
+    /// resource loop).
+    pred_fea: Vec<PredFea>,
+    /// Assignments of the most recent pass, in placement (rank) order.
+    assignments: Vec<Assignment>,
+}
+
+impl ScheduleWorkspace {
+    /// Fresh, empty workspace; buffers grow to steady-state capacity during
+    /// the first passes and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assignments produced by the most recent scheduling pass, in
+    /// placement (non-increasing rank) order.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Build the executable [`Plan`] of the most recent pass (the only
+    /// allocating step, deferred until a candidate is actually accepted).
+    pub fn to_plan(&self, clock: f64) -> Plan {
+        Plan::from_assignments(clock, self.assignments.clone())
+    }
+}
+
+/// Run one AHEFT scheduling pass over an owned snapshot, allocating a fresh
+/// workspace. Convenience wrapper over [`aheft_reschedule_with`] for tests
+/// and one-shot callers; hot paths hold a [`ScheduleWorkspace`] and use the
+/// `_with` form.
 ///
 /// # Panics
 /// Panics if `alive` is empty or references columns outside the cost table.
@@ -84,57 +158,153 @@ pub fn aheft_reschedule(
     alive: &[ResourceId],
     config: &AheftConfig,
 ) -> RescheduleOutcome {
+    let mut ws = ScheduleWorkspace::new();
+    aheft_reschedule_with(dag, costs, snapshot.view(), alive, config, &mut ws)
+}
+
+/// Run one AHEFT scheduling pass over `view`, reusing `ws` for all scratch
+/// state, and package the result as a [`RescheduleOutcome`].
+///
+/// `alive` lists the resources currently in the pool (cost-table columns of
+/// departed resources are skipped). For the initial schedule pass use
+/// [`Snapshot::initial`] and the full resource list.
+///
+/// # Panics
+/// Panics if `alive` is empty or references columns outside the cost table.
+pub fn aheft_reschedule_with(
+    dag: &Dag,
+    costs: &CostTable,
+    view: SnapshotView<'_>,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+    ws: &mut ScheduleWorkspace,
+) -> RescheduleOutcome {
+    let predicted_makespan = aheft_schedule_into(dag, costs, view, alive, config, ws);
+    RescheduleOutcome { plan: ws.to_plan(view.clock), predicted_makespan }
+}
+
+/// The allocation-free core: one AHEFT pass over `view` writing the new
+/// assignments into `ws` and returning the predicted whole-DAG makespan
+/// (paper Eq. 4). After `ws` has reached steady-state capacity this
+/// performs no heap allocation at all, which is what lets the adaptive
+/// planner evaluate candidates at every pool change for free.
+///
+/// # Panics
+/// Panics if `alive` is empty or references columns outside the cost table.
+pub fn aheft_schedule_into(
+    dag: &Dag,
+    costs: &CostTable,
+    view: SnapshotView<'_>,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+    ws: &mut ScheduleWorkspace,
+) -> f64 {
     assert!(!alive.is_empty(), "cannot schedule on an empty resource pool");
-    let clock = snapshot.clock;
+    let clock = view.clock;
     let total_resources = costs.resource_count();
+    let jobs = dag.job_count();
 
     // Earliest availability floor per resource: never before `clock`, and
     // never before what the Resource Manager reported.
-    let mut floor = vec![f64::INFINITY; total_resources];
+    ws.floor.clear();
+    ws.floor.resize(total_resources, f64::INFINITY);
     for &r in alive {
-        let reported = snapshot.resource_avail.get(r.idx()).copied().unwrap_or(clock);
-        floor[r.idx()] = reported.max(clock);
+        let reported = view.resource_avail.get(r.idx()).copied().unwrap_or(clock);
+        ws.floor[r.idx()] = reported.max(clock);
     }
 
-    // Pinned running jobs (NotStarted mode): they keep their resource and
-    // expected finish, and block their resource until then.
-    let mut pinned: HashMap<JobId, (ResourceId, f64)> = HashMap::new();
+    // Dense placement state; pinned running jobs (NotStarted mode) are
+    // pre-filled — they keep their resource and expected finish, and block
+    // their resource until then.
+    ws.slot_res.clear();
+    ws.slot_res.resize(jobs, UNPLACED);
+    ws.slot_time.clear();
+    ws.slot_time.resize(jobs, 0.0);
+    let mut pinned_max = 0.0f64;
     if config.reschedulable == ReschedulableSet::NotStarted {
-        for (&job, &(r, _ast, expected_finish)) in &snapshot.running {
-            pinned.insert(job, (r, expected_finish));
-            if r.idx() < floor.len() {
-                floor[r.idx()] = floor[r.idx()].max(expected_finish);
+        for (i, s) in view.job_states().iter().enumerate() {
+            if let JobState::Running { resource, expected_finish, .. } = *s {
+                ws.slot_res[i] = resource.0;
+                ws.slot_time[i] = expected_finish;
+                if resource.idx() < ws.floor.len() {
+                    ws.floor[resource.idx()] = ws.floor[resource.idx()].max(expected_finish);
+                }
+                pinned_max = pinned_max.max(expected_finish);
             }
         }
     }
 
     // Paper Fig. 3, lines 2-3: upward ranks against the current pool, jobs
     // sorted by non-increasing rank (a topological order).
-    let ranks = rank_upward_over(dag, costs, alive);
-    let order = priority_order_from_ranks(dag, &ranks);
+    rank_upward_over_into(dag, costs, alive, &mut ws.ranks);
+    priority_order_from_ranks_into(dag, &ws.ranks, &mut ws.order);
 
-    let mut tables: Vec<SlotTable> = vec![SlotTable::new(); total_resources];
-    let mut placed: HashMap<JobId, (ResourceId, f64)> = HashMap::new(); // job -> (resource, SFT)
-    let mut assignments = Vec::new();
+    if ws.tables.len() < total_resources {
+        ws.tables.resize_with(total_resources, SlotTable::new);
+    }
+    for t in &mut ws.tables[..total_resources] {
+        t.clear();
+    }
+    ws.assignments.clear();
 
-    for &job in &order {
-        if snapshot.is_finished(job) || pinned.contains_key(&job) {
+    for oi in 0..ws.order.len() {
+        let job = ws.order[oi];
+        // Pinned jobs were pre-filled in `slot_res`; placed jobs cannot
+        // recur (each job appears once in the order).
+        if view.is_finished(job) || ws.slot_res[job.idx()] != UNPLACED {
             continue;
         }
-        let ctx = FeaCtx { snapshot, costs, pinned: &pinned, placed: &placed, clock };
+        // Eq. 1 case of each predecessor, classified once per job instead
+        // of once per (job, resource).
+        ws.pred_fea.clear();
+        for &(p, e) in dag.preds(job) {
+            ws.pred_fea.push(if let Some((home, aft)) = view.finished_on(p) {
+                PredFea::Finished { home, aft, edge: e, retransmit: clock + costs.comm(e) }
+            } else {
+                let res = ws.slot_res[p.idx()];
+                assert!(res != UNPLACED, "rank_u order schedules predecessors before successors");
+                PredFea::Scheduled {
+                    r: ResourceId(res),
+                    t: ws.slot_time[p.idx()],
+                    comm: costs.comm(e),
+                }
+            });
+        }
         let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
         for &r in alive {
             let w = costs.comp(job, r);
             // Inner max of Eq. 2: all input files present on r.
             let mut ready = clock;
-            for &(p, e) in dag.preds(job) {
-                let t = fea(&ctx, p, e, r);
+            for pf in &ws.pred_fea {
+                let t = match *pf {
+                    PredFea::Finished { home, aft, edge, retransmit } => {
+                        if home == r {
+                            // Case 1: the file is on r from the producer's AFT.
+                            aft
+                        } else {
+                            // Case 1 (committed transfer) or Case 2
+                            // (retransmission from `clock`).
+                            view.transfer_to(edge, r).unwrap_or(retransmit)
+                        }
+                    }
+                    // Case 3 / otherwise: pinned or (re)scheduled predecessor.
+                    PredFea::Scheduled { r: rp, t, comm } => {
+                        if rp == r {
+                            t
+                        } else {
+                            t + comm
+                        }
+                    }
+                };
                 if t > ready {
                     ready = t;
                 }
             }
-            let start =
-                tables[r.idx()].earliest_start(ready.max(floor[r.idx()]), w, config.slot_policy);
+            let start = ws.tables[r.idx()].earliest_start(
+                ready.max(ws.floor[r.idx()]),
+                w,
+                config.slot_policy,
+            );
             let eft = start + w;
             // Strict `<` with in-order iteration = deterministic lowest-id
             // tie-break, matching HEFT's first-minimum selection.
@@ -143,65 +313,20 @@ pub fn aheft_reschedule(
             }
         }
         let (eft, start, r) = best.expect("alive is non-empty");
-        tables[r.idx()].reserve(start, eft - start, job);
-        placed.insert(job, (r, eft));
-        assignments.push(Assignment { job, resource: r, start, finish: eft });
+        ws.tables[r.idx()].reserve(start, eft - start, job);
+        ws.slot_res[job.idx()] = r.0;
+        ws.slot_time[job.idx()] = eft;
+        ws.assignments.push(Assignment { job, resource: r, start, finish: eft });
     }
 
     // Predicted whole-DAG makespan (Eq. 4 over every job's completion).
-    let mut predicted = assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
-    for &(_, aft) in snapshot.finished.values() {
-        predicted = predicted.max(aft);
-    }
-    for &(_, ef) in pinned.values() {
-        predicted = predicted.max(ef);
-    }
-
-    RescheduleOutcome {
-        plan: Plan::from_assignments(clock, assignments),
-        predicted_makespan: predicted,
-    }
-}
-
-/// Read-only state of one rescheduling pass, threaded through [`fea`].
-struct FeaCtx<'a> {
-    snapshot: &'a Snapshot,
-    costs: &'a CostTable,
-    pinned: &'a HashMap<JobId, (ResourceId, f64)>,
-    placed: &'a HashMap<JobId, (ResourceId, f64)>,
-    clock: f64,
-}
-
-/// Eq. 1 — earliest time `p`'s output file is available on `r` for a
-/// consumer, after `S0` executed up to `ctx.clock`.
-#[inline]
-fn fea(ctx: &FeaCtx<'_>, p: JobId, e: aheft_workflow::EdgeId, r: ResourceId) -> f64 {
-    if ctx.snapshot.finished.contains_key(&p) {
-        match ctx.snapshot.edge_data_available(p, e, r) {
-            // Case 1: the file is on r, or a committed transfer delivers it
-            // at a known time (includes the producer having run on r).
-            Some(t) => t,
-            // Case 2: the file must be (re)transmitted, starting now.
-            None => ctx.clock + ctx.costs.comm(e),
-        }
-    } else if let Some(&(rp, expected_finish)) = ctx.pinned.get(&p) {
-        // Case 3 / otherwise for a pinned running predecessor.
-        if rp == r {
-            expected_finish
-        } else {
-            expected_finish + ctx.costs.comm(e)
-        }
-    } else {
-        // Case 3 / otherwise: the predecessor is in the new schedule; rank
-        // order guarantees it was placed before this job.
-        let &(rp, sft) =
-            ctx.placed.get(&p).expect("rank_u order schedules predecessors before successors");
-        if rp == r {
-            sft
-        } else {
-            sft + ctx.costs.comm(e)
+    let mut predicted = ws.assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
+    for s in view.job_states() {
+        if let JobState::Finished { aft, .. } = *s {
+            predicted = predicted.max(aft);
         }
     }
+    predicted.max(pinned_max)
 }
 
 #[cfg(test)]
@@ -265,12 +390,54 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // The same workspace threaded through passes over *different*
+        // problems must leak no state between them.
+        let (dag, costs) = fig4();
+        let mut ws = ScheduleWorkspace::new();
+        // Warm the workspace on an unrelated larger instance.
+        let mut b = DagBuilder::new();
+        for i in 0..20 {
+            b.add_job(format!("j{i}"));
+        }
+        let big = b.build().unwrap();
+        let big_costs =
+            CostTable::from_dag_comm(&big, vec![vec![7.0, 9.0, 4.0, 5.0, 6.0]; 20], 1.0).unwrap();
+        let _ = aheft_reschedule_with(
+            &big,
+            &big_costs,
+            Snapshot::initial(5).view(),
+            &alive(5),
+            &AheftConfig::default(),
+            &mut ws,
+        );
+        // Now the Fig. 4 instance through the dirty workspace.
+        let fresh = aheft_reschedule(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            &AheftConfig::default(),
+        );
+        let reused = aheft_reschedule_with(
+            &dag,
+            &costs,
+            Snapshot::initial(3).view(),
+            &alive(3),
+            &AheftConfig::default(),
+            &mut ws,
+        );
+        assert_eq!(fresh.plan.assignments(), reused.plan.assignments());
+        assert_eq!(fresh.predicted_makespan, reused.predicted_makespan);
+    }
+
+    #[test]
     fn reschedule_excludes_finished_jobs() {
         let (dag, costs) = fig4();
         // Simulate: n1 finished on r3 at t=9 (its HEFT placement), clock 15.
         let mut snap = Snapshot::initial(3);
         snap.clock = 15.0;
-        snap.finished.insert(JobId(0), (ResourceId(2), 9.0));
+        snap.set_finished(JobId(0), ResourceId(2), 9.0);
         snap.resource_avail = vec![15.0, 15.0, 15.0];
         let out = aheft_reschedule(&dag, &costs, &snap, &alive(3), &AheftConfig::default());
         assert_eq!(out.plan.len(), dag.job_count() - 1);
@@ -295,7 +462,7 @@ mod tests {
             CostTable::from_dag_comm(&dag, vec![vec![5.0, 5.0], vec![100.0, 10.0]], 1.0).unwrap();
         let mut snap = Snapshot::initial(2);
         snap.clock = 50.0;
-        snap.finished.insert(a, (ResourceId(0), 5.0));
+        snap.set_finished(a, ResourceId(0), 5.0);
         snap.resource_avail = vec![50.0, 50.0];
         let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &AheftConfig::default());
         let asg = out.plan.assignment(c).unwrap();
@@ -317,8 +484,8 @@ mod tests {
             CostTable::from_dag_comm(&dag, vec![vec![5.0, 5.0], vec![100.0, 10.0]], 1.0).unwrap();
         let mut snap = Snapshot::initial(2);
         snap.clock = 50.0;
-        snap.finished.insert(a, (ResourceId(0), 5.0));
-        snap.transfers.insert((aheft_workflow::EdgeId(0), ResourceId(1)), 52.0); // in flight
+        snap.set_finished(a, ResourceId(0), 5.0);
+        snap.add_transfer(EdgeId(0), ResourceId(1), 52.0); // in flight
         snap.resource_avail = vec![50.0, 50.0];
         let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &AheftConfig::default());
         let asg = out.plan.assignment(c).unwrap();
@@ -339,7 +506,7 @@ mod tests {
             CostTable::from_dag_comm(&dag, vec![vec![20.0, 20.0], vec![10.0, 50.0]], 1.0).unwrap();
         let mut snap = Snapshot::initial(2);
         snap.clock = 10.0;
-        snap.running.insert(a, (ResourceId(0), 10.0, 30.0));
+        snap.set_running(a, ResourceId(0), 10.0, 30.0);
         snap.resource_avail = vec![10.0, 10.0];
         let cfg = AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() };
         let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &cfg);
@@ -364,7 +531,7 @@ mod tests {
             CostTable::from_dag_comm(&dag, vec![vec![20.0, 20.0], vec![10.0, 50.0]], 1.0).unwrap();
         let mut snap = Snapshot::initial(2);
         snap.clock = 10.0;
-        snap.running.insert(a, (ResourceId(0), 10.0, 30.0));
+        snap.set_running(a, ResourceId(0), 10.0, 30.0);
         snap.resource_avail = vec![10.0, 10.0];
         let out = aheft_reschedule(&dag, &costs, &snap, &alive(2), &AheftConfig::default());
         // Both jobs are in the new plan; a restarts at or after clock.

@@ -13,7 +13,7 @@ use aheft_gridsim::reservation::SlotPolicy;
 use aheft_workflow::{CostTable, Dag};
 use serde::{Deserialize, Serialize};
 
-use crate::aheft::{aheft_reschedule, AheftConfig};
+use crate::aheft::{aheft_reschedule_with, AheftConfig, ScheduleWorkspace};
 use crate::schedule::{all_resources, Schedule};
 
 /// HEFT configuration.
@@ -24,12 +24,25 @@ pub struct HeftConfig {
 }
 
 /// Compute a full static HEFT schedule for `dag` over every resource of
-/// `costs`.
+/// `costs`, allocating a fresh workspace.
 pub fn heft_schedule(dag: &Dag, costs: &CostTable, config: &HeftConfig) -> Schedule {
+    let mut ws = ScheduleWorkspace::new();
+    heft_schedule_with(dag, costs, config, &mut ws)
+}
+
+/// As [`heft_schedule`], reusing a caller-provided [`ScheduleWorkspace`]
+/// (sweeps scheduling many DAGs back to back avoid re-growing scratch
+/// buffers).
+pub fn heft_schedule_with(
+    dag: &Dag,
+    costs: &CostTable,
+    config: &HeftConfig,
+    ws: &mut ScheduleWorkspace,
+) -> Schedule {
     let alive = all_resources(costs);
     let snapshot = Snapshot::initial(costs.resource_count());
     let cfg = AheftConfig { slot_policy: config.slot_policy, ..Default::default() };
-    aheft_reschedule(dag, costs, &snapshot, &alive, &cfg).plan
+    aheft_reschedule_with(dag, costs, snapshot.view(), &alive, &cfg, ws).plan
 }
 
 #[cfg(test)]

@@ -29,8 +29,11 @@ pub mod runner;
 pub mod schedule;
 pub mod whatif;
 
-pub use aheft::{aheft_reschedule, AheftConfig, ReschedulableSet, RescheduleOutcome};
-pub use heft::{heft_schedule, HeftConfig};
+pub use aheft::{
+    aheft_reschedule, aheft_reschedule_with, aheft_schedule_into, AheftConfig, ReschedulableSet,
+    RescheduleOutcome, ScheduleWorkspace,
+};
+pub use heft::{heft_schedule, heft_schedule_with, HeftConfig};
 pub use minmin::DynamicHeuristic;
 pub use planner::{AdaptivePlanner, ReschedulePolicy};
 pub use runner::{run_aheft, run_dynamic, run_static_heft, RunReport};

@@ -11,8 +11,6 @@
 //! current ready set; Max-Min and Sufferage are included as additional
 //! baselines for the ablation benches.
 
-use std::collections::BTreeMap;
-
 use aheft_gridsim::executor::ExecState;
 use aheft_workflow::{CostTable, Dag, JobId, ResourceId};
 use serde::{Deserialize, Serialize};
@@ -61,16 +59,17 @@ pub fn completion_time(
 
 /// Map every job of `ready` to a resource using `heuristic`.
 ///
-/// `avail` maps each alive resource to its busy-until time and is updated
-/// as the batch is constructed (each placement delays later ones on the
-/// same resource), mirroring how the executor will actually enqueue them.
-/// Returns `(job, resource, estimated completion)` in assignment order.
+/// `avail` is a dense, resource-indexed busy-until array (`None` = the
+/// resource is dead / not in the pool). It is updated as the batch is
+/// constructed (each placement delays later ones on the same resource),
+/// mirroring how the executor will actually enqueue them. Returns
+/// `(job, resource, estimated completion)` in assignment order.
 pub fn select_batch(
     dag: &Dag,
     costs: &CostTable,
     state: &ExecState,
     clock: f64,
-    avail: &mut BTreeMap<ResourceId, f64>,
+    avail: &mut [Option<f64>],
     ready: &[JobId],
     heuristic: DynamicHeuristic,
 ) -> Vec<(JobId, ResourceId, f64)> {
@@ -83,7 +82,9 @@ pub fn select_batch(
         for (idx, &job) in remaining.iter().enumerate() {
             let mut best: Option<(ResourceId, f64)> = None;
             let mut second = f64::INFINITY;
-            for (&r, &a) in avail.iter() {
+            for (ri, slot) in avail.iter().enumerate() {
+                let Some(a) = *slot else { continue };
+                let r = ResourceId::from(ri);
                 let ct = completion_time(dag, costs, state, clock, a, job, r);
                 match best {
                     None => best = Some((r, ct)),
@@ -107,7 +108,7 @@ pub fn select_batch(
                 }
             };
             // Strict improvement keeps the first (lowest ready-index) job
-            // on ties, and BTreeMap iteration keeps resource choice
+            // on ties, and id-order iteration keeps resource choice
             // deterministic on equal completion times.
             if choice.is_none_or(|(_, _, _, s)| score > s + 1e-12) {
                 choice = Some((idx, r, best_ct, score));
@@ -115,7 +116,7 @@ pub fn select_batch(
         }
         let (idx, r, ct, _) = choice.expect("remaining is non-empty");
         let job = remaining.swap_remove(idx);
-        avail.insert(r, ct);
+        avail[r.idx()] = Some(ct);
         out.push((job, r, ct));
     }
     out
@@ -142,8 +143,8 @@ mod tests {
         (dag, costs)
     }
 
-    fn avail2() -> BTreeMap<ResourceId, f64> {
-        BTreeMap::from([(ResourceId(0), 0.0), (ResourceId(1), 0.0)])
+    fn avail2() -> Vec<Option<f64>> {
+        vec![Some(0.0), Some(0.0)]
     }
 
     #[test]

@@ -14,13 +14,20 @@
 //! paper evaluates on every resource-pool change; the Sakellariou-Zhao
 //! low-cost policy \[14\] and a periodic variant are provided for the
 //! ablation benches.
+//!
+//! The planner owns a [`ScheduleWorkspace`] reused across evaluations, so
+//! one candidate evaluation (the common case: the `Keep` branch of line 7)
+//! allocates nothing. The executable plan is only materialised when a
+//! candidate is accepted — or taken afterwards via
+//! [`AdaptivePlanner::last_candidate_outcome`] for forced replacements
+//! (resource failures), without re-running the scheduler.
 
 use aheft_gridsim::event::Event;
-use aheft_gridsim::executor::Snapshot;
+use aheft_gridsim::executor::{Snapshot, SnapshotView};
 use aheft_workflow::{CostTable, Dag, ResourceId};
 use serde::{Deserialize, Serialize};
 
-use crate::aheft::{aheft_reschedule, AheftConfig, RescheduleOutcome};
+use crate::aheft::{aheft_schedule_into, AheftConfig, RescheduleOutcome, ScheduleWorkspace};
 use crate::schedule::all_resources;
 
 /// When the planner evaluates a reschedule.
@@ -79,26 +86,42 @@ pub struct AdaptivePlanner {
     current_predicted: f64,
     evaluations: usize,
     accepted: usize,
+    /// `(clock, predicted)` of the most recent scheduling pass, whose
+    /// assignments still sit in `workspace`.
+    last_candidate: Option<(f64, f64)>,
+    workspace: ScheduleWorkspace,
 }
 
 impl AdaptivePlanner {
     /// New planner with the paper's defaults (evaluate on pool change).
     pub fn new(config: AheftConfig, policy: ReschedulePolicy) -> Self {
-        Self { config, policy, current_predicted: f64::INFINITY, evaluations: 0, accepted: 0 }
+        Self {
+            config,
+            policy,
+            current_predicted: f64::INFINITY,
+            evaluations: 0,
+            accepted: 0,
+            last_candidate: None,
+            workspace: ScheduleWorkspace::new(),
+        }
     }
 
     /// Produce the initial full schedule (identical to HEFT) and remember
     /// its predicted makespan as `S0.makespan`.
     pub fn initial_plan(&mut self, dag: &Dag, costs: &CostTable) -> RescheduleOutcome {
-        let out = aheft_reschedule(
+        let snapshot = Snapshot::initial(costs.resource_count());
+        let alive = all_resources(costs);
+        let predicted = aheft_schedule_into(
             dag,
             costs,
-            &Snapshot::initial(costs.resource_count()),
-            &all_resources(costs),
+            snapshot.view(),
+            &alive,
             &self.config,
+            &mut self.workspace,
         );
-        self.current_predicted = out.predicted_makespan;
-        out
+        self.current_predicted = predicted;
+        self.last_candidate = Some((0.0, predicted));
+        RescheduleOutcome { plan: self.workspace.to_plan(0.0), predicted_makespan: predicted }
     }
 
     /// Whether `event` should trigger [`AdaptivePlanner::evaluate`].
@@ -107,22 +130,48 @@ impl AdaptivePlanner {
     }
 
     /// Evaluate a reschedule against the current plan (Fig. 2 lines 5–10).
+    ///
+    /// The `Keep` branch performs zero heap allocation: the candidate lives
+    /// entirely in the reused workspace and only its predicted makespan is
+    /// reported. An executable plan is built only on `Replace`.
     pub fn evaluate(
         &mut self,
         dag: &Dag,
         costs: &CostTable,
-        snapshot: &Snapshot,
+        view: SnapshotView<'_>,
         alive: &[ResourceId],
     ) -> Decision {
         self.evaluations += 1;
-        let out = aheft_reschedule(dag, costs, snapshot, alive, &self.config);
-        if out.predicted_makespan < self.current_predicted - 1e-9 {
-            self.current_predicted = out.predicted_makespan;
+        let predicted =
+            aheft_schedule_into(dag, costs, view, alive, &self.config, &mut self.workspace);
+        self.last_candidate = Some((view.clock, predicted));
+        if predicted < self.current_predicted - 1e-9 {
+            self.current_predicted = predicted;
             self.accepted += 1;
-            Decision::Replace(out)
+            Decision::Replace(RescheduleOutcome {
+                plan: self.workspace.to_plan(view.clock),
+                predicted_makespan: predicted,
+            })
         } else {
-            Decision::Keep { candidate_makespan: out.predicted_makespan }
+            Decision::Keep { candidate_makespan: predicted }
         }
+    }
+
+    /// Materialise the candidate of the most recent evaluation (or initial
+    /// plan) without re-running the scheduler. Used for *forced*
+    /// replacements — after a resource failure the executor must adopt the
+    /// candidate even when it did not beat `S0` — which previously cost a
+    /// second full snapshot + scheduling pass.
+    ///
+    /// Deliberately leaves `current_predicted` untouched: a forced adoption
+    /// is not an improvement, and future candidates still compare against
+    /// the best makespan ever predicted (Fig. 2 line 7).
+    pub fn last_candidate_outcome(&self) -> Option<RescheduleOutcome> {
+        let (clock, predicted) = self.last_candidate?;
+        Some(RescheduleOutcome {
+            plan: self.workspace.to_plan(clock),
+            predicted_makespan: predicted,
+        })
     }
 
     /// Predicted makespan of the current plan `S0`.
@@ -178,7 +227,7 @@ mod tests {
         planner.initial_plan(&dag, &costs);
         let snap = Snapshot::initial(3);
         let alive = all_resources(&costs);
-        match planner.evaluate(&dag, &costs, &snap, &alive) {
+        match planner.evaluate(&dag, &costs, snap.view(), &alive) {
             Decision::Keep { candidate_makespan } => {
                 assert!((candidate_makespan - 80.0).abs() < 1e-9);
             }
@@ -206,7 +255,8 @@ mod tests {
         let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
         let initial = planner.initial_plan(&dag, &costs1);
         assert!((initial.predicted_makespan - 80.0).abs() < 1e-9);
-        match planner.evaluate(&dag, &costs2, &Snapshot::initial(2), &all_resources(&costs2)) {
+        let snap2 = Snapshot::initial(2);
+        match planner.evaluate(&dag, &costs2, snap2.view(), &all_resources(&costs2)) {
             Decision::Replace(out) => {
                 assert!((out.predicted_makespan - 40.0).abs() < 1e-9);
                 assert_eq!(planner.accepted(), 1);
@@ -225,7 +275,8 @@ mod tests {
         let costs4 = sample::fig4_costs_full();
         let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
         planner.initial_plan(&dag, &costs3);
-        match planner.evaluate(&dag, &costs4, &Snapshot::initial(4), &all_resources(&costs4)) {
+        let snap4 = Snapshot::initial(4);
+        match planner.evaluate(&dag, &costs4, snap4.view(), &all_resources(&costs4)) {
             Decision::Keep { candidate_makespan } => {
                 assert!(candidate_makespan > 80.0);
                 assert!((planner.current_predicted() - 80.0).abs() < 1e-9);
@@ -235,5 +286,35 @@ mod tests {
                 out.predicted_makespan
             ),
         }
+    }
+
+    #[test]
+    fn last_candidate_outcome_matches_rejected_candidate() {
+        // A forced replacement adopts the rejected candidate verbatim,
+        // without a second scheduling pass.
+        let dag = sample::fig4_dag();
+        let costs3 = sample::fig4_costs_initial();
+        let costs4 = sample::fig4_costs_full();
+        let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
+        planner.initial_plan(&dag, &costs3);
+        let snap4 = Snapshot::initial(4);
+        let Decision::Keep { candidate_makespan } =
+            planner.evaluate(&dag, &costs4, snap4.view(), &all_resources(&costs4))
+        else {
+            panic!("candidate must be kept");
+        };
+        let forced = planner.last_candidate_outcome().expect("just evaluated");
+        assert!((forced.predicted_makespan - candidate_makespan).abs() < 1e-12);
+        // Identical to an independent scheduling pass over the same inputs.
+        let reference = crate::aheft::aheft_reschedule(
+            &dag,
+            &costs4,
+            &snap4,
+            &all_resources(&costs4),
+            &AheftConfig::default(),
+        );
+        assert_eq!(forced.plan.assignments(), reference.plan.assignments());
+        // The accept-if-better baseline is untouched by a forced adoption.
+        assert!((planner.current_predicted() - 80.0).abs() < 1e-9);
     }
 }

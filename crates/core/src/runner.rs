@@ -22,9 +22,7 @@
 //! strategies run against the same seed see byte-identical grids — the
 //! paper's paired-comparison methodology.
 
-use std::collections::BTreeMap;
-
-use aheft_gridsim::engine::EventQueue;
+use aheft_gridsim::engine::{EventQueue, EventToken};
 use aheft_gridsim::event::Event;
 use aheft_gridsim::executor::ExecState;
 use aheft_gridsim::fault::FailureModel;
@@ -110,6 +108,14 @@ struct Sim<'a> {
     actual: ActualModel,
     running_on: Vec<Option<JobId>>,
     aborted_jobs: usize,
+    /// Cancellation token of each running job's pending completion event,
+    /// so aborts revoke exactly that event instance in O(1).
+    finish_token: Vec<Option<EventToken>>,
+    /// Reusable per-evaluation buffers: the alive pool and the per-resource
+    /// availability floor handed to the planner view. Nothing is allocated
+    /// per planner evaluation.
+    alive_scratch: Vec<ResourceId>,
+    avail_scratch: Vec<f64>,
 }
 
 impl<'a> Sim<'a> {
@@ -133,13 +139,16 @@ impl<'a> Sim<'a> {
             costgen,
             dynamics: *dynamics,
             engine: EventQueue::new(),
-            state: ExecState::new(dag.job_count()),
+            state: ExecState::with_edges(dag.job_count(), dag.edge_count()),
             pool: PoolState::new(dynamics.initial),
             rng: StdRng::seed_from_u64(seed),
             trace: if cfg.record_trace { Trace::enabled() } else { Trace::disabled() },
             actual: cfg.actual,
             running_on: vec![None; dynamics.initial],
             aborted_jobs: 0,
+            finish_token: vec![None; dag.job_count()],
+            alive_scratch: Vec::new(),
+            avail_scratch: Vec::new(),
         };
         if let Some(first) = sim.dynamics.first_event() {
             sim.engine.schedule(
@@ -213,7 +222,8 @@ impl<'a> Sim<'a> {
         let duration = self.actual.actual(estimate, &mut self.rng);
         let finish = self.state.start(job, r, clock, duration);
         self.running_on[r.idx()] = Some(job);
-        self.engine.schedule(SimTime::new(finish), Event::JobFinished { job });
+        let token = self.engine.schedule(SimTime::new(finish), Event::JobFinished { job });
+        self.finish_token[job.idx()] = Some(token);
         self.trace.push(TraceEvent::JobStarted { t: clock, job, resource: r });
     }
 
@@ -223,6 +233,7 @@ impl<'a> Sim<'a> {
         let clock = self.clock();
         let r = self.state.finish(job, clock);
         self.running_on[r.idx()] = None;
+        self.finish_token[job.idx()] = None;
         self.trace.push(TraceEvent::JobFinished { t: clock, job, resource: r });
         let estimate = self.costs.comp(job, r);
         let deviation = match self.state.finished_on(job) {
@@ -238,11 +249,13 @@ impl<'a> Sim<'a> {
         (r, deviation)
     }
 
-    /// Abort a running job (plan replacement / resource failure).
+    /// Abort a running job (plan replacement / resource failure). O(1): the
+    /// pending completion event is tombstoned by token, not searched for.
     fn abort_job(&mut self, job: JobId) {
         if let Some(r) = self.state.abort(job) {
             self.running_on[r.idx()] = None;
-            self.engine.cancel_if(|e| matches!(e, Event::JobFinished { job: j } if *j == job));
+            let token = self.finish_token[job.idx()].take().expect("running job has an event");
+            self.engine.cancel(token);
             self.aborted_jobs += 1;
             self.trace.push(TraceEvent::JobAborted { t: self.clock(), job, resource: r });
         }
@@ -458,13 +471,18 @@ fn evaluate_and_maybe_replace(
     forced: bool,
 ) -> bool {
     let clock = sim.clock();
-    let alive = sim.pool.alive();
-    if alive.is_empty() {
+    sim.pool.alive_into(&mut sim.alive_scratch);
+    if sim.alive_scratch.is_empty() {
         return false; // nothing to schedule on; wait for the pool to recover
     }
-    let snapshot = sim.state.snapshot(clock, vec![clock; sim.pool.total()]);
+    // Borrowed dense view of the execution state — no snapshot cloning.
+    sim.avail_scratch.clear();
+    sim.avail_scratch.resize(sim.pool.total(), clock);
     let old_predicted = planner.current_predicted();
-    let decision = planner.evaluate(sim.dag, &sim.costs, &snapshot, &alive);
+    let decision = {
+        let view = sim.state.view(clock, &sim.avail_scratch);
+        planner.evaluate(sim.dag, &sim.costs, view, &sim.alive_scratch)
+    };
     let accept = match (&decision, forced) {
         (Decision::Replace(_), _) => true,
         (Decision::Keep { .. }, true) => true,
@@ -480,14 +498,13 @@ fn evaluate_and_maybe_replace(
         }
         return false;
     }
-    // A forced (failure) replacement re-runs the scheduler because the Keep
-    // decision above may refer to a plan that now uses a dead resource.
+    // A forced (failure) replacement adopts the just-evaluated candidate —
+    // the kept plan may use a dead resource — straight from the planner's
+    // workspace, without rebuilding the snapshot or re-running the
+    // scheduler (the pass is deterministic, so the outcome is identical).
     let outcome = match decision {
         Decision::Replace(out) => out,
-        Decision::Keep { .. } => {
-            let snapshot = sim.state.snapshot(clock, vec![clock; sim.pool.total()]);
-            crate::aheft::aheft_reschedule(sim.dag, &sim.costs, &snapshot, &alive, &planner.config)
-        }
+        Decision::Keep { .. } => planner.last_candidate_outcome().expect("an evaluation just ran"),
     };
     // Abort running jobs that the new plan re-places.
     if planner.config.reschedulable == ReschedulableSet::AllUnfinished {
@@ -543,8 +560,8 @@ fn run_dynamic_loop(
     let mut assigned: Vec<Option<ResourceId>> = vec![None; dag.job_count()];
     let mut fifo: Vec<Vec<JobId>> = vec![Vec::new(); sim.pool.total()];
     let mut fifo_next: Vec<usize> = vec![0; sim.pool.total()];
-    let mut avail: BTreeMap<ResourceId, f64> =
-        sim.pool.alive().into_iter().map(|r| (r, 0.0)).collect();
+    // Dense resource-indexed busy-until floor (None = departed resource).
+    let mut avail: Vec<Option<f64>> = vec![Some(0.0); sim.pool.total()];
 
     loop {
         // Map newly ready jobs (just-in-time local decisions).
@@ -559,7 +576,7 @@ fn run_dynamic_loop(
         if !ready.is_empty() {
             let clock = sim.clock();
             // Refresh availability floor: nothing can start in the past.
-            for (_, a) in avail.iter_mut() {
+            for a in avail.iter_mut().flatten() {
                 *a = a.max(clock);
             }
             let batch =
@@ -614,14 +631,15 @@ fn run_dynamic_loop(
             Event::ResourcesJoined { count } => {
                 let clock = sim.clock();
                 for id in sim.handle_join(count) {
+                    debug_assert_eq!(id.idx(), avail.len());
                     fifo.push(Vec::new());
                     fifo_next.push(0);
-                    avail.insert(id, clock);
+                    avail.push(Some(clock));
                 }
             }
             Event::ResourceLeft { resource } => {
                 sim.pool.leave(resource, sim.clock());
-                avail.remove(&resource);
+                avail[resource.idx()] = None;
                 if let Some(job) = sim.running_on[resource.idx()] {
                     sim.abort_job(job);
                     assigned[job.idx()] = None; // will be re-mapped when ready

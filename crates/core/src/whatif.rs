@@ -13,7 +13,7 @@
 use aheft_gridsim::executor::Snapshot;
 use aheft_workflow::{CostTable, Dag, ResourceId};
 
-use crate::aheft::{aheft_reschedule, AheftConfig};
+use crate::aheft::{aheft_reschedule_with, AheftConfig, ScheduleWorkspace};
 
 /// A hypothetical pool modification.
 #[derive(Debug, Clone)]
@@ -68,24 +68,42 @@ pub fn what_if(
     config: &AheftConfig,
     query: &WhatIfQuery,
 ) -> WhatIfReport {
-    let baseline = aheft_reschedule(dag, costs, snapshot, alive, config).predicted_makespan;
+    let mut ws = ScheduleWorkspace::new();
+    what_if_with(dag, costs, snapshot, alive, config, query, &mut ws)
+}
+
+/// As [`what_if`], reusing a caller-provided [`ScheduleWorkspace`] across
+/// both scheduling passes (and across repeated queries).
+pub fn what_if_with(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+    query: &WhatIfQuery,
+    ws: &mut ScheduleWorkspace,
+) -> WhatIfReport {
+    let baseline =
+        aheft_reschedule_with(dag, costs, snapshot.view(), alive, config, ws).predicted_makespan;
     let hypothetical = match query {
         WhatIfQuery::AddResources { columns } => {
             let mut costs2 = costs.clone();
             let mut alive2 = alive.to_vec();
-            let mut snap2 = snapshot.clone();
+            let mut avail2 = snapshot.resource_avail.clone();
             for col in columns {
                 let id = costs2.add_resource(col).expect("column must match job count");
                 alive2.push(id);
                 // The hypothetical resource is free from `clock`.
-                snap2.resource_avail.push(snapshot.clock);
+                avail2.push(snapshot.clock);
             }
-            aheft_reschedule(dag, &costs2, &snap2, &alive2, config).predicted_makespan
+            let view2 = snapshot.view_with_avail(&avail2);
+            aheft_reschedule_with(dag, &costs2, view2, &alive2, config, ws).predicted_makespan
         }
         WhatIfQuery::RemoveResource(r) => {
             let alive2: Vec<ResourceId> = alive.iter().copied().filter(|x| x != r).collect();
             assert!(!alive2.is_empty(), "cannot remove the last resource");
-            aheft_reschedule(dag, costs, snapshot, &alive2, config).predicted_makespan
+            aheft_reschedule_with(dag, costs, snapshot.view(), &alive2, config, ws)
+                .predicted_makespan
         }
     };
     WhatIfReport { baseline_makespan: baseline, hypothetical_makespan: hypothetical }

@@ -6,7 +6,7 @@
 //! (insertion sequence), so runs are exactly reproducible.
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::event::Event;
 use crate::time::SimTime;
@@ -32,19 +32,33 @@ impl Ord for Scheduled {
     }
 }
 
+/// A cancellation token for one scheduled event, returned by
+/// [`EventQueue::schedule`]. Each token identifies exactly one event
+/// instance, so cancelling it can never affect a later re-scheduled event
+/// of the same kind (e.g. the completion of a restarted job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
 /// Future-event list with a logical clock.
+///
+/// Cancellation uses **lazy tombstones**: cancelling a pending event (a job
+/// abort revoking the job's completion) is an O(1) set insertion, and the
+/// dead event is discarded when it reaches the head of the heap — no
+/// O(pending) drain-and-rebuild.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     clock: SimTime,
     processed: u64,
+    /// Sequence numbers of cancelled-but-still-enqueued events.
+    cancelled: HashSet<u64>,
 }
 
 impl EventQueue {
     /// Empty queue at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, clock: SimTime::ZERO, processed: 0 }
+        Self::default()
     }
 
     /// Current simulation clock: the timestamp of the last popped event.
@@ -59,48 +73,76 @@ impl EventQueue {
         self.processed
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events. Saturating: a stale
+    /// cancellation (contract violation, see [`EventQueue::cancel`]) must
+    /// not turn this into an underflow panic far from the culprit.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.heap.len().saturating_sub(self.cancelled.len())
     }
 
-    /// Schedule `event` at absolute time `at`.
+    /// Schedule `event` at absolute time `at`. Returns a token that can
+    /// cancel this (and only this) event instance.
     ///
     /// # Panics
     /// Panics if `at` lies in the past (`at < clock`): the simulation is
     /// causal.
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
+    pub fn schedule(&mut self, at: SimTime, event: Event) -> EventToken {
         assert!(at >= self.clock, "cannot schedule event at {at} before clock {}", self.clock);
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { time: at, seq: self.seq, event }));
+        EventToken(self.seq)
     }
 
     /// Schedule `event` after a relative `delay`.
-    pub fn schedule_in(&mut self, delay: f64, event: Event) {
+    pub fn schedule_in(&mut self, delay: f64, event: Event) -> EventToken {
         let at = self.clock + SimTime::new(delay);
-        self.schedule(at, event);
+        self.schedule(at, event)
     }
 
-    /// Pop the next event, advancing the clock to its timestamp.
+    /// Pop the next live event, advancing the clock to its timestamp.
+    /// Tombstoned (cancelled) events are discarded transparently; they are
+    /// neither returned nor counted as processed, and do not advance the
+    /// clock.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let Reverse(s) = self.heap.pop()?;
-        debug_assert!(s.time >= self.clock, "event queue went backwards");
-        self.clock = s.time;
-        self.processed += 1;
-        Some((s.time, s.event))
+        loop {
+            let Reverse(s) = self.heap.pop()?;
+            debug_assert!(s.time >= self.clock, "event queue went backwards");
+            // Empty-set fast path: runs without aborts never pay for the
+            // tombstone lookup.
+            if !self.cancelled.is_empty() && self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.clock = s.time;
+            self.processed += 1;
+            return Some((s.time, s.event));
+        }
     }
 
-    /// Timestamp of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.time)
+    /// Timestamp of the next live event, if any. Tombstoned events at the
+    /// head are discarded.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse(Scheduled { seq, time, .. })) = self.heap.peek() {
+            if !self.cancelled.is_empty() && self.cancelled.contains(&seq) {
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(time);
+            }
+        }
+        None
     }
 
-    /// Drop all pending events matching `pred` (e.g. cancelling the wake-ups
-    /// of a replaced plan).
-    pub fn cancel_if(&mut self, pred: impl Fn(&Event) -> bool) {
-        let kept: Vec<_> = self.heap.drain().filter(|Reverse(s)| !pred(&s.event)).collect();
-        self.heap = kept.into();
+    /// Cancel the pending event identified by `token` in O(1) (e.g. a job
+    /// abort revoking the job's completion event): the event is tombstoned
+    /// and discarded when it surfaces.
+    ///
+    /// The token must refer to an event that is still pending — scheduling
+    /// hands out each token exactly once, and the caller must not cancel a
+    /// token whose event may already have popped.
+    pub fn cancel(&mut self, token: EventToken) {
+        let inserted = self.cancelled.insert(token.0);
+        debug_assert!(inserted, "event token cancelled twice");
     }
 }
 
@@ -152,12 +194,43 @@ mod tests {
     }
 
     #[test]
-    fn cancel_if_filters_pending() {
+    fn cancelled_event_is_skipped() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::new(1.0), Event::Wake);
-        q.schedule(SimTime::new(2.0), Event::JobFinished { job: JobId(0) });
-        q.cancel_if(|e| matches!(e, Event::Wake));
+        let tok = q.schedule(SimTime::new(1.0), Event::JobFinished { job: JobId(0) });
+        q.schedule(SimTime::new(2.0), Event::JobFinished { job: JobId(1) });
+        q.cancel(tok);
         assert_eq!(q.pending(), 1);
-        assert!(matches!(q.pop().unwrap().1, Event::JobFinished { .. }));
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(2.0));
+        assert_eq!(e, Event::JobFinished { job: JobId(1) });
+        assert!(q.pop().is_none());
+        // Skipped events are not counted as processed.
+        assert_eq!(q.processed(), 1);
+    }
+
+    #[test]
+    fn tombstone_does_not_swallow_later_finish_of_same_job() {
+        let mut q = EventQueue::new();
+        // A job is aborted (its pending finish cancelled), restarted on a
+        // faster resource, and the new finish lands *earlier* than the
+        // cancelled one: the new event must survive, the stale one must die.
+        let stale = q.schedule(SimTime::new(9.0), Event::JobFinished { job: JobId(0) });
+        q.cancel(stale);
+        q.schedule(SimTime::new(5.0), Event::JobFinished { job: JobId(0) });
+        assert_eq!(q.pending(), 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::new(5.0));
+        assert_eq!(e, Event::JobFinished { job: JobId(0) });
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(SimTime::new(1.0), Event::JobFinished { job: JobId(0) });
+        q.schedule(SimTime::new(3.0), Event::Wake);
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(SimTime::new(3.0)));
+        assert_eq!(q.pending(), 1);
     }
 }

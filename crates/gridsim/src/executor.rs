@@ -10,10 +10,14 @@
 //! arrivals are known because transfer durations are deterministic. This is
 //! exactly the information the paper's Eq. 1 (`FEA`) cases distinguish.
 //!
-//! [`Snapshot`] freezes this state at a rescheduling instant (`clock` in
-//! the paper's notation) for the AHEFT planner.
-
-use std::collections::HashMap;
+//! All of it is **dense, index-addressed state**: job lifecycle in a
+//! `Vec<JobState>` indexed by [`JobId`], the transfer ledger in per-edge
+//! destination lists indexed by [`aheft_workflow::EdgeId`]. The planner
+//! reads it through [`SnapshotView`], a borrowed zero-copy view taken at a
+//! rescheduling instant (`clock` in the paper's notation) — no hash maps,
+//! no cloned ledgers, nothing allocated per planner evaluation. [`Snapshot`]
+//! is the owned counterpart for tests, what-if queries and benches that
+//! fabricate mid-run states from scratch.
 
 use aheft_workflow::{Dag, EdgeId, JobId, ResourceId};
 use serde::{Deserialize, Serialize};
@@ -31,20 +35,40 @@ pub enum JobState {
     Finished { resource: ResourceId, ast: f64, aft: f64 },
 }
 
+/// Committed transfers of one edge's data: `(destination, arrival)` pairs.
+/// Almost every edge has zero or one destination, so a short unsorted list
+/// beats a hash table on both lookup cost and memory.
+type EdgeTransfers = Vec<(ResourceId, f64)>;
+
+fn transfer_to(transfers: &[EdgeTransfers], e: EdgeId, resource: ResourceId) -> Option<f64> {
+    transfers.get(e.idx())?.iter().find(|&&(r, _)| r == resource).map(|&(_, t)| t)
+}
+
 /// Mutable execution state of one workflow run.
 #[derive(Debug, Clone)]
 pub struct ExecState {
     states: Vec<JobState>,
-    /// `transfers[(e, r)]` — earliest arrival of edge `e`'s data on
-    /// resource `r` (committed/in-flight transfers).
-    transfers: HashMap<(EdgeId, ResourceId), f64>,
+    /// `transfers[e]` — committed/in-flight arrivals of edge `e`'s data,
+    /// indexed by edge.
+    transfers: Vec<EdgeTransfers>,
     finished: usize,
 }
 
 impl ExecState {
-    /// Fresh state for a DAG of `jobs` jobs.
+    /// Fresh state for a DAG of `jobs` jobs; the transfer ledger grows on
+    /// demand as edges are first transferred.
     pub fn new(jobs: usize) -> Self {
-        Self { states: vec![JobState::Waiting; jobs], transfers: HashMap::new(), finished: 0 }
+        Self { states: vec![JobState::Waiting; jobs], transfers: Vec::new(), finished: 0 }
+    }
+
+    /// Fresh state with the transfer ledger pre-sized for `edges` edges so
+    /// mid-run recording never reallocates the outer index.
+    pub fn with_edges(jobs: usize, edges: usize) -> Self {
+        Self {
+            states: vec![JobState::Waiting; jobs],
+            transfers: vec![Vec::new(); edges],
+            finished: 0,
+        }
     }
 
     /// Current state of `job`.
@@ -63,6 +87,12 @@ impl ExecState {
     #[inline]
     pub fn is_waiting(&self, job: JobId) -> bool {
         matches!(self.states[job.idx()], JobState::Waiting)
+    }
+
+    /// True if `job` is currently running.
+    #[inline]
+    pub fn is_running(&self, job: JobId) -> bool {
+        matches!(self.states[job.idx()], JobState::Running { .. })
     }
 
     /// Resource and actual finish time of a finished job.
@@ -137,13 +167,20 @@ impl ExecState {
     /// `arrival`. An earlier existing entry wins (a duplicate transfer
     /// cannot make the data *later*).
     pub fn record_transfer(&mut self, e: EdgeId, resource: ResourceId, arrival: f64) {
-        self.transfers.entry((e, resource)).and_modify(|t| *t = t.min(arrival)).or_insert(arrival);
+        if e.idx() >= self.transfers.len() {
+            self.transfers.resize_with(e.idx() + 1, Vec::new);
+        }
+        let dests = &mut self.transfers[e.idx()];
+        match dests.iter_mut().find(|(r, _)| *r == resource) {
+            Some((_, t)) => *t = t.min(arrival),
+            None => dests.push((resource, arrival)),
+        }
     }
 
     /// True if a transfer of edge `e` towards `resource` is committed
     /// (completed or in flight).
     pub fn transfer_exists(&self, e: EdgeId, resource: ResourceId) -> bool {
-        self.transfers.contains_key(&(e, resource))
+        transfer_to(&self.transfers, e, resource).is_some()
     }
 
     /// Earliest availability on `resource` of the data carried by edge `e`
@@ -161,7 +198,7 @@ impl ExecState {
                 return Some(aft);
             }
         }
-        self.transfers.get(&(e, resource)).copied()
+        transfer_to(&self.transfers, e, resource)
     }
 
     /// True if every predecessor of `job` has finished and its edge data is
@@ -173,42 +210,38 @@ impl ExecState {
         })
     }
 
-    /// Freeze the state for the planner.
-    ///
-    /// `resource_avail[j]` must give the earliest time resource `j` is free
-    /// for new work (≥ clock; the Resource Manager derives it from its
-    /// reservations and any pinned running job).
+    /// Borrow the state as a planner view at rescheduling instant `clock` —
+    /// the zero-copy, zero-allocation path the adaptive planner evaluates
+    /// on. `resource_avail[j]` must give the earliest time resource `j` is
+    /// free for new work (≥ clock).
+    pub fn view<'a>(&'a self, clock: f64, resource_avail: &'a [f64]) -> SnapshotView<'a> {
+        SnapshotView { clock, states: &self.states, transfers: &self.transfers, resource_avail }
+    }
+
+    /// Freeze the state into an owned [`Snapshot`] (cold path: what-if
+    /// queries, tests, serialization-style captures). The hot planner path
+    /// uses [`ExecState::view`] instead.
     pub fn snapshot(&self, clock: f64, resource_avail: Vec<f64>) -> Snapshot {
-        let mut finished = HashMap::new();
-        let mut running = HashMap::new();
-        for (i, s) in self.states.iter().enumerate() {
-            match *s {
-                JobState::Finished { resource, aft, .. } => {
-                    finished.insert(JobId::from(i), (resource, aft));
-                }
-                JobState::Running { resource, ast, expected_finish } => {
-                    running.insert(JobId::from(i), (resource, ast, expected_finish));
-                }
-                JobState::Waiting => {}
-            }
+        Snapshot {
+            clock,
+            states: self.states.clone(),
+            transfers: self.transfers.clone(),
+            resource_avail,
         }
-        Snapshot { clock, finished, running, transfers: self.transfers.clone(), resource_avail }
     }
 }
 
-/// Frozen execution state at a rescheduling instant — everything the AHEFT
-/// equations (paper Eqs. 1–3) read.
-#[derive(Debug, Clone)]
+/// Owned execution state at a rescheduling instant — the owned counterpart
+/// of [`SnapshotView`] for call sites that fabricate mid-run states (tests,
+/// what-if queries, benches).
+#[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     /// The rescheduling instant (`clock`).
     pub clock: f64,
-    /// Finished jobs: `job → (resource, AFT)`.
-    pub finished: HashMap<JobId, (ResourceId, f64)>,
-    /// Running jobs: `job → (resource, AST, expected finish)`.
-    pub running: HashMap<JobId, (ResourceId, f64, f64)>,
-    /// Committed transfers at `clock` (includes in-flight arrivals), keyed
-    /// by `(edge, destination)`.
-    pub transfers: HashMap<(EdgeId, ResourceId), f64>,
+    /// Job lifecycle, indexed by job; jobs beyond the vector are `Waiting`.
+    states: Vec<JobState>,
+    /// Per-edge committed transfers, indexed by edge.
+    transfers: Vec<EdgeTransfers>,
     /// Earliest availability of each resource (indexed by resource id).
     pub resource_avail: Vec<f64>,
 }
@@ -219,9 +252,8 @@ impl Snapshot {
     pub fn initial(resources: usize) -> Self {
         Self {
             clock: 0.0,
-            finished: HashMap::new(),
-            running: HashMap::new(),
-            transfers: HashMap::new(),
+            states: Vec::new(),
+            transfers: Vec::new(),
             resource_avail: vec![0.0; resources],
         }
     }
@@ -231,9 +263,48 @@ impl Snapshot {
         self.resource_avail.len()
     }
 
+    /// Current state of `job` (`Waiting` when never recorded).
+    #[inline]
+    pub fn state(&self, job: JobId) -> JobState {
+        self.states.get(job.idx()).copied().unwrap_or(JobState::Waiting)
+    }
+
     /// True if `job` already finished.
     pub fn is_finished(&self, job: JobId) -> bool {
-        self.finished.contains_key(&job)
+        matches!(self.state(job), JobState::Finished { .. })
+    }
+
+    /// Mark `job` finished on `resource` at `aft` (test/bench fabrication).
+    pub fn set_finished(&mut self, job: JobId, resource: ResourceId, aft: f64) {
+        self.ensure_job(job);
+        self.states[job.idx()] = JobState::Finished { resource, ast: aft, aft };
+    }
+
+    /// Mark `job` running on `resource` since `ast`, expected to finish at
+    /// `expected_finish` (test/bench fabrication).
+    pub fn set_running(
+        &mut self,
+        job: JobId,
+        resource: ResourceId,
+        ast: f64,
+        expected_finish: f64,
+    ) {
+        self.ensure_job(job);
+        self.states[job.idx()] = JobState::Running { resource, ast, expected_finish };
+    }
+
+    /// Record a committed transfer of edge `e`'s data towards `resource`,
+    /// arriving at `arrival`. An earlier existing entry wins, mirroring
+    /// [`ExecState::record_transfer`].
+    pub fn add_transfer(&mut self, e: EdgeId, resource: ResourceId, arrival: f64) {
+        if e.idx() >= self.transfers.len() {
+            self.transfers.resize_with(e.idx() + 1, Vec::new);
+        }
+        let dests = &mut self.transfers[e.idx()];
+        match dests.iter_mut().find(|(r, _)| *r == resource) {
+            Some((_, t)) => *t = t.min(arrival),
+            None => dests.push((resource, arrival)),
+        }
     }
 
     /// Earliest availability of edge `e`'s data (produced by `producer`) on
@@ -244,12 +315,106 @@ impl Snapshot {
         e: EdgeId,
         resource: ResourceId,
     ) -> Option<f64> {
-        if let Some(&(home, aft)) = self.finished.get(&producer) {
+        self.view().edge_data_available(producer, e, resource)
+    }
+
+    /// Borrow this snapshot as a planner view.
+    pub fn view(&self) -> SnapshotView<'_> {
+        SnapshotView {
+            clock: self.clock,
+            states: &self.states,
+            transfers: &self.transfers,
+            resource_avail: &self.resource_avail,
+        }
+    }
+
+    /// As [`Snapshot::view`] but with the per-resource availability floors
+    /// overridden (what-if queries hypothesise extra resources).
+    pub fn view_with_avail<'a>(&'a self, resource_avail: &'a [f64]) -> SnapshotView<'a> {
+        SnapshotView {
+            clock: self.clock,
+            states: &self.states,
+            transfers: &self.transfers,
+            resource_avail,
+        }
+    }
+
+    fn ensure_job(&mut self, job: JobId) {
+        if job.idx() >= self.states.len() {
+            self.states.resize(job.idx() + 1, JobState::Waiting);
+        }
+    }
+}
+
+/// Borrowed, dense planner view of the execution state at a rescheduling
+/// instant — everything the AHEFT equations (paper Eqs. 1–3) read, with no
+/// per-evaluation copying: job state is a slice indexed by [`JobId`], the
+/// transfer ledger a slice of per-edge destination lists indexed by
+/// [`EdgeId`].
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    /// The rescheduling instant (`clock`).
+    pub clock: f64,
+    states: &'a [JobState],
+    transfers: &'a [EdgeTransfers],
+    /// Earliest availability of each resource (indexed by resource id).
+    pub resource_avail: &'a [f64],
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Number of resources visible to the planner.
+    pub fn resource_count(&self) -> usize {
+        self.resource_avail.len()
+    }
+
+    /// Current state of `job` (`Waiting` when never recorded).
+    #[inline]
+    pub fn state(&self, job: JobId) -> JobState {
+        self.states.get(job.idx()).copied().unwrap_or(JobState::Waiting)
+    }
+
+    /// Dense job-state slice; jobs at or beyond its length are `Waiting`.
+    #[inline]
+    pub fn job_states(&self) -> &'a [JobState] {
+        self.states
+    }
+
+    /// True if `job` already finished.
+    #[inline]
+    pub fn is_finished(&self, job: JobId) -> bool {
+        matches!(self.state(job), JobState::Finished { .. })
+    }
+
+    /// Resource and actual finish time of a finished job.
+    #[inline]
+    pub fn finished_on(&self, job: JobId) -> Option<(ResourceId, f64)> {
+        match self.state(job) {
+            JobState::Finished { resource, aft, .. } => Some((resource, aft)),
+            _ => None,
+        }
+    }
+
+    /// Committed arrival of edge `e`'s data on `resource`, if any.
+    #[inline]
+    pub fn transfer_to(&self, e: EdgeId, resource: ResourceId) -> Option<f64> {
+        transfer_to(self.transfers, e, resource)
+    }
+
+    /// Earliest availability of edge `e`'s data (produced by `producer`) on
+    /// `resource`: the producer's own `AFT` when it finished there, else the
+    /// committed transfer arrival (possibly in the future), else `None`.
+    pub fn edge_data_available(
+        &self,
+        producer: JobId,
+        e: EdgeId,
+        resource: ResourceId,
+    ) -> Option<f64> {
+        if let JobState::Finished { resource: home, aft, .. } = self.state(producer) {
             if home == resource {
                 return Some(aft);
             }
         }
-        self.transfers.get(&(e, resource)).copied()
+        self.transfer_to(e, resource)
     }
 }
 
@@ -306,9 +471,18 @@ mod tests {
         s.record_transfer(EdgeId(0), ResourceId(2), 20.0);
         s.record_transfer(EdgeId(0), ResourceId(2), 15.0);
         s.record_transfer(EdgeId(0), ResourceId(2), 30.0);
-        assert_eq!(s.transfers.get(&(EdgeId(0), ResourceId(2))), Some(&15.0));
+        assert_eq!(transfer_to(&s.transfers, EdgeId(0), ResourceId(2)), Some(15.0));
         assert!(s.transfer_exists(EdgeId(0), ResourceId(2)));
         assert!(!s.transfer_exists(EdgeId(0), ResourceId(3)));
+        assert!(!s.transfer_exists(EdgeId(9), ResourceId(2)));
+    }
+
+    #[test]
+    fn with_edges_presizes_ledger() {
+        let mut s = ExecState::with_edges(2, 3);
+        s.record_transfer(EdgeId(2), ResourceId(0), 5.0);
+        assert!(s.transfer_exists(EdgeId(2), ResourceId(0)));
+        assert!(!s.transfer_exists(EdgeId(1), ResourceId(0)));
     }
 
     #[test]
@@ -335,28 +509,67 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_partitions_job_states() {
+    fn view_partitions_job_states() {
         let mut s = ExecState::new(3);
         s.start(JobId(0), ResourceId(0), 0.0, 5.0);
         s.finish(JobId(0), 5.0);
         s.start(JobId(1), ResourceId(1), 5.0, 10.0);
+        let avail = vec![8.0, 15.0];
+        let view = s.view(8.0, &avail);
+        assert_eq!(view.clock, 8.0);
+        assert_eq!(view.finished_on(JobId(0)), Some((ResourceId(0), 5.0)));
+        assert!(matches!(
+            view.state(JobId(1)),
+            JobState::Running { resource: ResourceId(1), ast, expected_finish }
+                if ast == 5.0 && expected_finish == 15.0
+        ));
+        assert!(!view.is_finished(JobId(2)));
+        assert!(view.is_finished(JobId(0)));
+        assert_eq!(view.resource_count(), 2);
+        // Edge data availability flows through the view.
+        assert_eq!(view.edge_data_available(JobId(0), EdgeId(0), ResourceId(0)), Some(5.0));
+        assert_eq!(view.edge_data_available(JobId(0), EdgeId(0), ResourceId(1)), None);
+    }
+
+    #[test]
+    fn owned_snapshot_matches_view_semantics() {
+        let mut s = ExecState::new(3);
+        s.start(JobId(0), ResourceId(0), 0.0, 5.0);
+        s.finish(JobId(0), 5.0);
+        s.record_transfer(EdgeId(0), ResourceId(1), 9.0);
         let snap = s.snapshot(8.0, vec![8.0, 15.0]);
         assert_eq!(snap.clock, 8.0);
-        assert_eq!(snap.finished.get(&JobId(0)), Some(&(ResourceId(0), 5.0)));
-        assert_eq!(snap.running.get(&JobId(1)), Some(&(ResourceId(1), 5.0, 15.0)));
-        assert!(!snap.finished.contains_key(&JobId(2)));
         assert!(snap.is_finished(JobId(0)));
-        assert_eq!(snap.resource_count(), 2);
-        // Edge data availability flows through the snapshot.
-        assert_eq!(snap.edge_data_available(JobId(0), EdgeId(0), ResourceId(0)), Some(5.0));
-        assert_eq!(snap.edge_data_available(JobId(0), EdgeId(0), ResourceId(1)), None);
+        assert_eq!(snap.edge_data_available(JobId(0), EdgeId(0), ResourceId(1)), Some(9.0));
+        assert_eq!(snap.view().finished_on(JobId(0)), Some((ResourceId(0), 5.0)));
+    }
+
+    #[test]
+    fn fabricated_snapshot_grows_on_demand() {
+        let mut snap = Snapshot::initial(2);
+        snap.clock = 30.0;
+        snap.set_finished(JobId(4), ResourceId(1), 25.0);
+        snap.set_running(JobId(2), ResourceId(0), 20.0, 40.0);
+        snap.add_transfer(EdgeId(3), ResourceId(0), 33.0);
+        assert!(snap.is_finished(JobId(4)));
+        assert!(!snap.is_finished(JobId(0)));
+        assert!(!snap.is_finished(JobId(9)));
+        assert_eq!(snap.view().transfer_to(EdgeId(3), ResourceId(0)), Some(33.0));
+        assert_eq!(snap.view().transfer_to(EdgeId(0), ResourceId(0)), None);
+        assert!(matches!(snap.state(JobId(2)), JobState::Running { .. }));
+        // Duplicate recordings keep the earliest arrival (ExecState parity).
+        snap.add_transfer(EdgeId(3), ResourceId(0), 40.0);
+        assert_eq!(snap.view().transfer_to(EdgeId(3), ResourceId(0)), Some(33.0));
+        snap.add_transfer(EdgeId(3), ResourceId(0), 20.0);
+        assert_eq!(snap.view().transfer_to(EdgeId(3), ResourceId(0)), Some(20.0));
     }
 
     #[test]
     fn initial_snapshot_is_empty() {
         let snap = Snapshot::initial(4);
         assert_eq!(snap.clock, 0.0);
-        assert!(snap.finished.is_empty());
+        assert!(!snap.is_finished(JobId(0)));
         assert_eq!(snap.resource_avail, vec![0.0; 4]);
+        assert_eq!(snap.resource_count(), 4);
     }
 }

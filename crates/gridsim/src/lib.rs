@@ -40,7 +40,7 @@ pub mod trace;
 
 pub use engine::EventQueue;
 pub use event::Event;
-pub use executor::{ExecState, JobState, Snapshot};
+pub use executor::{ExecState, JobState, Snapshot, SnapshotView};
 pub use plan::{Assignment, Plan};
 pub use pool::{PoolDynamics, PoolState};
 pub use reservation::{SlotPolicy, SlotTable};

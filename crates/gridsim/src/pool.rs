@@ -97,6 +97,13 @@ impl PoolState {
         self.resources.iter().filter(|r| r.alive()).map(|r| r.id).collect()
     }
 
+    /// As [`PoolState::alive`], writing into a caller-provided buffer so
+    /// per-evaluation callers allocate nothing.
+    pub fn alive_into(&self, out: &mut Vec<ResourceId>) {
+        out.clear();
+        out.extend(self.resources.iter().filter(|r| r.alive()).map(|r| r.id));
+    }
+
     /// Number of currently alive resources.
     pub fn alive_count(&self) -> usize {
         self.resources.iter().filter(|r| r.alive()).count()

@@ -45,6 +45,13 @@ impl SlotTable {
         Self::default()
     }
 
+    /// Drop every reservation but keep the allocation — the planner's
+    /// per-resource scratch tables are cleared and refilled on every
+    /// scheduling pass without reallocating.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
     /// Current reservations in start-time order.
     pub fn reservations(&self) -> &[Reservation] {
         &self.slots

@@ -25,12 +25,20 @@ use crate::ids::{JobId, ResourceId};
 
 /// Computation and communication cost matrices for one DAG on one
 /// (growable) resource pool.
+///
+/// Computation costs are stored **column-major in one contiguous buffer**
+/// (`comp[r · jobs + i]` = `w[i][r]`): [`CostTable::comp`] is a single
+/// indexed load, and [`CostTable::add_resource`] — the paper's central
+/// pool-growth mechanic — appends one `jobs`-length column in O(jobs)
+/// without relayouting the existing columns.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostTable {
-    /// `comp[i][j]` — cost of job `i` on resource `j`.
-    comp: Vec<Vec<f64>>,
+    /// Column-major `w`: `comp[j · jobs + i]` is the cost of job `i` on
+    /// resource `j`.
+    comp: Vec<f64>,
     /// `comm[e]` — cost of edge `e` when endpoints are on different resources.
     comm: Vec<f64>,
+    jobs: usize,
     resources: usize,
 }
 
@@ -38,6 +46,7 @@ impl CostTable {
     /// Build from explicit matrices. `comp` must have one row per job with
     /// equal lengths; costs must be finite and non-negative.
     pub fn new(comp: Vec<Vec<f64>>, comm: Vec<f64>) -> Result<Self, WorkflowError> {
+        let jobs = comp.len();
         let resources = comp.first().map_or(0, |r| r.len());
         for (i, row) in comp.iter().enumerate() {
             if row.len() != resources {
@@ -57,7 +66,13 @@ impl CostTable {
                 return Err(WorkflowError::InvalidCost(format!("comm[{e}] = {c}")));
             }
         }
-        Ok(Self { comp, comm, resources })
+        let mut flat = Vec::with_capacity(jobs * resources);
+        for j in 0..resources {
+            for row in &comp {
+                flat.push(row[j]);
+            }
+        }
+        Ok(Self { comp: flat, comm, jobs, resources })
     }
 
     /// Derive communication costs from a DAG's edge data volumes times a
@@ -87,22 +102,23 @@ impl CostTable {
     /// Number of jobs covered by the table.
     #[inline]
     pub fn job_count(&self) -> usize {
-        self.comp.len()
+        self.jobs
     }
 
-    /// Computation cost `w[i][j]`.
+    /// Computation cost `w[i][j]` — a single indexed load into the
+    /// contiguous column-major buffer.
     #[inline]
     pub fn comp(&self, job: JobId, r: ResourceId) -> f64 {
-        self.comp[job.idx()][r.idx()]
+        self.comp[r.idx() * self.jobs + job.idx()]
     }
 
     /// Average computation cost `w̄_i` over the current resource pool.
     pub fn avg_comp(&self, job: JobId) -> f64 {
-        let row = &self.comp[job.idx()];
-        if row.is_empty() {
+        if self.resources == 0 {
             return 0.0;
         }
-        row.iter().sum::<f64>() / row.len() as f64
+        (0..self.resources).map(|j| self.comp[j * self.jobs + job.idx()]).sum::<f64>()
+            / self.resources as f64
     }
 
     /// Average computation cost over a subset of resources (the *alive*
@@ -111,8 +127,8 @@ impl CostTable {
         if resources.is_empty() {
             return 0.0;
         }
-        let row = &self.comp[job.idx()];
-        resources.iter().map(|r| row[r.idx()]).sum::<f64>() / resources.len() as f64
+        resources.iter().map(|r| self.comp[r.idx() * self.jobs + job.idx()]).sum::<f64>()
+            / resources.len() as f64
     }
 
     /// Communication cost of `edge` between two *distinct* resources.
@@ -139,13 +155,14 @@ impl CostTable {
         self.comm[edge.idx()]
     }
 
-    /// Append one resource column: `column[i]` is `w[i][new]`.
+    /// Append one resource column: `column[i]` is `w[i][new]`. O(jobs): the
+    /// column is appended to the contiguous column-major buffer.
     pub fn add_resource(&mut self, column: &[f64]) -> Result<ResourceId, WorkflowError> {
-        if column.len() != self.comp.len() {
+        if column.len() != self.jobs {
             return Err(WorkflowError::DimensionMismatch(format!(
                 "column of {} entries for {} jobs",
                 column.len(),
-                self.comp.len()
+                self.jobs
             )));
         }
         for (i, &w) in column.iter().enumerate() {
@@ -153,21 +170,21 @@ impl CostTable {
                 return Err(WorkflowError::InvalidCost(format!("w[{i}][new] = {w}")));
             }
         }
-        for (row, &w) in self.comp.iter_mut().zip(column) {
-            row.push(w);
-        }
+        self.comp.extend_from_slice(column);
         let id = ResourceId::from(self.resources);
         self.resources += 1;
         Ok(id)
     }
 
     /// Restrict the table to the first `r` resources (used to compare "what
-    /// if the pool never grew" scenarios).
+    /// if the pool never grew" scenarios). O(jobs · r): a prefix copy of the
+    /// column-major buffer.
     pub fn truncated(&self, r: usize) -> Self {
         let r = r.min(self.resources);
         Self {
-            comp: self.comp.iter().map(|row| row[..r].to_vec()).collect(),
+            comp: self.comp[..r * self.jobs].to_vec(),
             comm: self.comm.clone(),
+            jobs: self.jobs,
             resources: r,
         }
     }
@@ -175,12 +192,12 @@ impl CostTable {
     /// Measured communication-to-computation ratio: mean edge cost divided by
     /// mean job cost over the current pool.
     pub fn measured_ccr(&self) -> f64 {
-        if self.comm.is_empty() || self.comp.is_empty() {
+        if self.comm.is_empty() || self.jobs == 0 {
             return 0.0;
         }
         let mean_comm = self.comm.iter().sum::<f64>() / self.comm.len() as f64;
-        let mean_comp = (0..self.comp.len()).map(|i| self.avg_comp(JobId::from(i))).sum::<f64>()
-            / self.comp.len() as f64;
+        let mean_comp =
+            (0..self.jobs).map(|i| self.avg_comp(JobId::from(i))).sum::<f64>() / self.jobs as f64;
         if mean_comp == 0.0 {
             0.0
         } else {

@@ -37,7 +37,21 @@ pub fn rank_upward(dag: &Dag, costs: &CostTable) -> Vec<f64> {
 /// subset of resources only. AHEFT recomputes ranks at every rescheduling
 /// instant against the *current* pool (paper Fig. 2, line 5).
 pub fn rank_upward_over(dag: &Dag, costs: &CostTable, alive: &[ResourceId]) -> Vec<f64> {
-    let mut rank = vec![0.0f64; dag.job_count()];
+    let mut rank = Vec::new();
+    rank_upward_over_into(dag, costs, alive, &mut rank);
+    rank
+}
+
+/// As [`rank_upward_over`], writing into a caller-provided buffer so the
+/// planner hot path performs no allocation (after the buffer's first growth).
+pub fn rank_upward_over_into(
+    dag: &Dag,
+    costs: &CostTable,
+    alive: &[ResourceId],
+    rank: &mut Vec<f64>,
+) {
+    rank.clear();
+    rank.resize(dag.job_count(), 0.0);
     for &j in dag.topo_order().iter().rev() {
         let mut best = 0.0f64;
         for &(s, e) in dag.succs(j) {
@@ -48,7 +62,6 @@ pub fn rank_upward_over(dag: &Dag, costs: &CostTable, alive: &[ResourceId]) -> V
         }
         rank[j.idx()] = costs.avg_comp_over(j, alive) + best;
     }
-    rank
 }
 
 /// Compute the downward rank: longest average-cost path from an entry to the
@@ -83,14 +96,25 @@ pub fn priority_order(dag: &Dag, costs: &CostTable) -> Vec<JobId> {
 
 /// As [`priority_order`] but reusing precomputed ranks.
 pub fn priority_order_from_ranks(dag: &Dag, rank: &[f64]) -> Vec<JobId> {
-    let mut order: Vec<JobId> = dag.job_ids().collect();
-    order.sort_by(|&a, &b| {
+    let mut order = Vec::new();
+    priority_order_from_ranks_into(dag, rank, &mut order);
+    order
+}
+
+/// As [`priority_order_from_ranks`], writing into a caller-provided buffer.
+///
+/// Uses an unstable (in-place, allocation-free) sort: the comparator is a
+/// total order — rank ties are broken by the unique topological position —
+/// so the result is identical to a stable sort.
+pub fn priority_order_from_ranks_into(dag: &Dag, rank: &[f64], order: &mut Vec<JobId>) {
+    order.clear();
+    order.extend(dag.job_ids());
+    order.sort_unstable_by(|&a, &b| {
         rank[b.idx()]
             .partial_cmp(&rank[a.idx()])
             .expect("ranks are finite")
             .then_with(|| dag.topo_position(a).cmp(&dag.topo_position(b)))
     });
-    order
 }
 
 /// The critical path: jobs on the longest average-cost entry→exit path.

@@ -1,0 +1,255 @@
+//! Differential pinning of the dense-state scheduler refactor (ISSUE 2).
+//!
+//! The paired-comparison methodology of the paper depends on the scheduler
+//! being *deterministic*, and the refactor to dense, workspace-reused state
+//! must be *behaviour-preserving bit for bit*. This suite checks the
+//! production scheduler against an independent **oracle** implementation
+//! that mirrors the pre-refactor hot path exactly: hash-map keyed snapshot
+//! state, per-(job, resource, predecessor) FEA classification, fresh
+//! allocations per pass — the straightforward transcription of the paper's
+//! Fig. 3 + Eq. 1 that the seed repository shipped.
+//!
+//! Over seeded random DAGs × mid-run snapshots × pool subsets, plans must
+//! be **byte-identical** (same jobs, same resources, same f64 start/finish
+//! bits) whether produced by the oracle, by a fresh workspace, or by a
+//! dirty workspace reused across unrelated instances.
+
+use std::collections::HashMap;
+
+use aheft::core::aheft::{
+    aheft_reschedule, aheft_reschedule_with, AheftConfig, ReschedulableSet, ScheduleWorkspace,
+};
+use aheft::gridsim::executor::Snapshot;
+use aheft::gridsim::plan::Assignment;
+use aheft::gridsim::reservation::{SlotPolicy, SlotTable};
+use aheft::prelude::*;
+use aheft::workflow::generators::random::{generate, RandomDagParams};
+use aheft::workflow::rank::{priority_order_from_ranks, rank_upward_over};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pre-refactor reference: hash-map state, FEA classified per
+/// (job, resource, predecessor). Returns (assignments, predicted makespan).
+fn oracle_reschedule(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+) -> (Vec<Assignment>, f64) {
+    let view = snapshot.view();
+    let clock = snapshot.clock;
+    let total_resources = costs.resource_count();
+
+    let mut floor = vec![f64::INFINITY; total_resources];
+    for &r in alive {
+        let reported = snapshot.resource_avail.get(r.idx()).copied().unwrap_or(clock);
+        floor[r.idx()] = reported.max(clock);
+    }
+
+    let mut pinned: HashMap<JobId, (ResourceId, f64)> = HashMap::new();
+    if config.reschedulable == ReschedulableSet::NotStarted {
+        for j in dag.job_ids() {
+            if let aheft::gridsim::JobState::Running { resource, expected_finish, .. } =
+                snapshot.state(j)
+            {
+                pinned.insert(j, (resource, expected_finish));
+                if resource.idx() < floor.len() {
+                    floor[resource.idx()] = floor[resource.idx()].max(expected_finish);
+                }
+            }
+        }
+    }
+
+    let ranks = rank_upward_over(dag, costs, alive);
+    let order = priority_order_from_ranks(dag, &ranks);
+
+    let mut tables: Vec<SlotTable> = vec![SlotTable::new(); total_resources];
+    let mut placed: HashMap<JobId, (ResourceId, f64)> = HashMap::new();
+    let mut assignments = Vec::new();
+
+    for &job in &order {
+        if snapshot.is_finished(job) || pinned.contains_key(&job) {
+            continue;
+        }
+        let mut best: Option<(f64, f64, ResourceId)> = None;
+        for &r in alive {
+            let w = costs.comp(job, r);
+            let mut ready = clock;
+            for &(p, e) in dag.preds(job) {
+                // Eq. 1, classified from scratch for every (job, r, pred).
+                let t = if snapshot.is_finished(p) {
+                    match view.edge_data_available(p, e, r) {
+                        Some(t) => t,
+                        None => clock + costs.comm(e),
+                    }
+                } else if let Some(&(rp, ef)) = pinned.get(&p) {
+                    if rp == r {
+                        ef
+                    } else {
+                        ef + costs.comm(e)
+                    }
+                } else {
+                    let &(rp, sft) = placed.get(&p).expect("topological order");
+                    if rp == r {
+                        sft
+                    } else {
+                        sft + costs.comm(e)
+                    }
+                };
+                if t > ready {
+                    ready = t;
+                }
+            }
+            let start =
+                tables[r.idx()].earliest_start(ready.max(floor[r.idx()]), w, config.slot_policy);
+            let eft = start + w;
+            if best.is_none_or(|(b, _, _)| eft < b) {
+                best = Some((eft, start, r));
+            }
+        }
+        let (eft, start, r) = best.expect("alive is non-empty");
+        tables[r.idx()].reserve(start, eft - start, job);
+        placed.insert(job, (r, eft));
+        assignments.push(Assignment { job, resource: r, start, finish: eft });
+    }
+
+    let mut predicted = assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
+    for j in dag.job_ids() {
+        if let aheft::gridsim::JobState::Finished { aft, .. } = snapshot.state(j) {
+            predicted = predicted.max(aft);
+        }
+    }
+    for &(_, ef) in pinned.values() {
+        predicted = predicted.max(ef);
+    }
+    (assignments, predicted)
+}
+
+/// Byte-exact assignment comparison (f64 compared by bit pattern).
+fn assert_identical(kind: &str, seed: u64, a: &[Assignment], b: &[Assignment]) {
+    assert_eq!(a.len(), b.len(), "{kind} (seed {seed}): plan lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.job, y.job, "{kind} (seed {seed})");
+        assert_eq!(x.resource, y.resource, "{kind} (seed {seed}): {} placed differently", x.job);
+        assert_eq!(
+            x.start.to_bits(),
+            y.start.to_bits(),
+            "{kind} (seed {seed}): {} start {} vs {}",
+            x.job,
+            x.start,
+            y.start
+        );
+        assert_eq!(
+            x.finish.to_bits(),
+            y.finish.to_bits(),
+            "{kind} (seed {seed}): {} finish {} vs {}",
+            x.job,
+            x.finish,
+            y.finish
+        );
+    }
+}
+
+/// Fabricate a plausible mid-run snapshot: a topo prefix finished (spread
+/// over resources, with committed transfers for some out-edges), a couple
+/// of jobs running, the rest waiting.
+fn fabricate_snapshot(
+    dag: &Dag,
+    costs: &CostTable,
+    resources: usize,
+    rng: &mut StdRng,
+) -> Snapshot {
+    let clock = 100.0 + rng.random_range(0.0..200.0);
+    let mut snap = Snapshot::initial(resources);
+    snap.clock = clock;
+    snap.resource_avail = vec![clock; resources];
+    let done = rng.random_range(0..=dag.job_count() / 2);
+    let topo: Vec<JobId> = dag.topo_order().to_vec();
+    for (k, &j) in topo.iter().take(done).enumerate() {
+        let r = ResourceId::from(k % resources);
+        let aft = clock * (0.2 + 0.6 * (k as f64 / done.max(1) as f64));
+        snap.set_finished(j, r, aft);
+        for &(_, e) in dag.succs(j) {
+            if rng.random_range(0.0..1.0) < 0.5 {
+                let dest = ResourceId::from(rng.random_range(0..resources));
+                snap.add_transfer(e, dest, aft + costs.comm(e));
+            }
+        }
+    }
+    // Up to two running jobs whose predecessors are all in the done prefix.
+    let mut running = 0;
+    for &j in topo.iter().skip(done) {
+        if running >= 2 {
+            break;
+        }
+        if dag.preds(j).iter().all(|&(p, _)| snap.is_finished(p)) {
+            let r = ResourceId::from(rng.random_range(0..resources));
+            snap.set_running(j, r, clock - 5.0, clock + rng.random_range(1.0..50.0));
+            running += 1;
+        }
+    }
+    snap
+}
+
+#[test]
+fn scheduler_matches_prerefactor_oracle_on_random_instances() {
+    let mut ws = ScheduleWorkspace::new(); // deliberately reused across all cases
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = 10 + (seed as usize % 5) * 10;
+        let resources = 2 + (seed as usize % 7);
+        let p = RandomDagParams {
+            jobs,
+            ccr: [0.1, 1.0, 5.0][seed as usize % 3],
+            ..RandomDagParams::paper_default()
+        };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        let snap = fabricate_snapshot(&wf.dag, &costs, resources, &mut rng);
+        // Pool subset: drop one resource on odd seeds (a departed resource).
+        let alive: Vec<ResourceId> = (0..resources)
+            .filter(|&r| !(seed % 2 == 1 && r == seed as usize % resources))
+            .map(ResourceId::from)
+            .collect();
+        for config in [
+            AheftConfig::default(),
+            AheftConfig { slot_policy: SlotPolicy::EndOfQueue, ..Default::default() },
+            AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() },
+        ] {
+            let (oracle_plan, oracle_predicted) =
+                oracle_reschedule(&wf.dag, &costs, &snap, &alive, &config);
+            let fresh = aheft_reschedule(&wf.dag, &costs, &snap, &alive, &config);
+            assert_identical("fresh-vs-oracle", seed, fresh.plan.assignments(), &oracle_plan);
+            assert_eq!(
+                fresh.predicted_makespan.to_bits(),
+                oracle_predicted.to_bits(),
+                "seed {seed}: predicted makespan diverged"
+            );
+            let reused =
+                aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut ws);
+            assert_identical("reused-vs-oracle", seed, reused.plan.assignments(), &oracle_plan);
+            assert_eq!(reused.predicted_makespan.to_bits(), oracle_predicted.to_bits());
+        }
+    }
+}
+
+#[test]
+fn end_to_end_runs_are_reproducible_and_strategy_invariants_hold() {
+    // Full simulated executions (pool growth + reschedules) must be exactly
+    // reproducible run to run, and AHEFT must still dominate static HEFT.
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let p = RandomDagParams { jobs: 30, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(5, &mut rng);
+        let dynamics = PoolDynamics::periodic_growth(5, 250.0, 0.2);
+        let a1 = run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, seed);
+        let a2 = run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, seed);
+        assert_eq!(a1.makespan.to_bits(), a2.makespan.to_bits(), "seed {seed}: not reproducible");
+        assert_eq!(a1.reschedules, a2.reschedules);
+        assert_eq!(a1.events_processed, a2.events_processed);
+        let h = run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, seed);
+        assert!(a1.makespan <= h.makespan + 1e-6, "seed {seed}: AHEFT lost to HEFT");
+    }
+}

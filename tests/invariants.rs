@@ -119,7 +119,7 @@ proptest! {
         let first = wf.dag.topo_order()[0];
         let mut snap = Snapshot::initial(resources);
         snap.clock = 120.0;
-        snap.finished.insert(first, (ResourceId(0), 50.0));
+        snap.set_finished(first, ResourceId(0), 50.0);
         snap.resource_avail = vec![120.0; resources];
         let alive: Vec<ResourceId> = (1..resources).map(ResourceId::from).collect();
         if alive.is_empty() { return Ok(()); }

@@ -1,0 +1,117 @@
+//! Pins the ISSUE-2 acceptance criterion: after planner warm-up, one AHEFT
+//! scheduling pass performs **zero heap allocations** — every piece of
+//! scratch state lives in the reused [`ScheduleWorkspace`].
+//!
+//! A counting global allocator wraps the system allocator; this lives in
+//! its own integration-test binary so other tests' allocations don't bleed
+//! into the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aheft::core::aheft::{aheft_schedule_into, AheftConfig, ReschedulableSet, ScheduleWorkspace};
+use aheft::core::planner::{AdaptivePlanner, Decision, ReschedulePolicy};
+use aheft::gridsim::executor::Snapshot;
+use aheft::gridsim::reservation::SlotPolicy;
+use aheft::prelude::*;
+use aheft::workflow::generators::random::{generate, RandomDagParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn midrun_instance(jobs: usize, resources: usize) -> (Dag, CostTable, Snapshot, Vec<ResourceId>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(resources, &mut rng);
+    let mut snap = Snapshot::initial(resources);
+    snap.clock = 500.0;
+    snap.resource_avail = vec![500.0; resources];
+    for (k, &j) in wf.dag.topo_order().to_vec().iter().take(jobs / 2).enumerate() {
+        snap.set_finished(j, ResourceId::from(k % resources), 400.0);
+        for &(_, e) in wf.dag.succs(j) {
+            snap.add_transfer(e, ResourceId::from((k + 1) % resources), 450.0);
+        }
+    }
+    let alive = (0..resources).map(ResourceId::from).collect();
+    (wf.dag, costs, snap, alive)
+}
+
+#[test]
+fn aheft_pass_allocates_nothing_after_warmup() {
+    let (dag, costs, snap, alive) = midrun_instance(120, 16);
+    for config in [
+        AheftConfig::default(),
+        AheftConfig { slot_policy: SlotPolicy::EndOfQueue, ..Default::default() },
+        AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() },
+    ] {
+        let mut ws = ScheduleWorkspace::new();
+        // Warm-up: buffers grow to steady-state capacity.
+        let warm = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+        aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+        let before = allocations();
+        let mut last = 0.0;
+        for _ in 0..10 {
+            last = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{config:?}: {} heap allocations in 10 warmed-up passes",
+            after - before
+        );
+        assert_eq!(warm.to_bits(), last.to_bits(), "reuse changed the result");
+    }
+}
+
+#[test]
+fn planner_keep_evaluation_allocates_nothing_after_warmup() {
+    // The runner's per-event path: planner evaluation ending in `Keep`
+    // (the overwhelmingly common case across a sweep) must be free.
+    let (dag, costs, snap, alive) = midrun_instance(80, 8);
+    let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
+    planner.initial_plan(&dag, &costs);
+    // Warm up the evaluation path (first call may also accept; later
+    // identical candidates are always Keep).
+    planner.evaluate(&dag, &costs, snap.view(), &alive);
+    planner.evaluate(&dag, &costs, snap.view(), &alive);
+    let before = allocations();
+    for _ in 0..10 {
+        let decision = planner.evaluate(&dag, &costs, snap.view(), &alive);
+        assert!(matches!(decision, Decision::Keep { .. }), "identical candidate must be kept");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{} heap allocations in 10 warmed-up Keep evaluations",
+        after - before
+    );
+}
