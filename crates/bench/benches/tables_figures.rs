@@ -5,39 +5,43 @@
 //!
 //! The authoritative *outputs* come from the `experiments` binary
 //! (`cargo run -p aheft-bench --bin experiments -- all`); these benches
-//! measure how long each artifact takes to regenerate.
+//! measure how long each artifact takes to regenerate. Sweeps run
+//! sequentially (threads = 1) so the numbers track per-case cost, not the
+//! machine's core count.
 
 use aheft_bench::experiments;
 use aheft_bench::scale::Scale;
+use aheft_bench::sweep::SweepConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("regenerate");
     group.sample_size(10);
+    let cfg = SweepConfig::sequential();
 
     group.bench_function("fig5_worked_example", |b| b.iter(|| black_box(experiments::fig5())));
     group.bench_function("headline_random_averages", |b| {
-        b.iter(|| black_box(experiments::headline(Scale::Smoke)))
+        b.iter(|| black_box(experiments::headline(Scale::Smoke, &cfg)))
     });
     group.bench_function("table3_improvement_vs_ccr", |b| {
-        b.iter(|| black_box(experiments::table3(Scale::Smoke)))
+        b.iter(|| black_box(experiments::table3(Scale::Smoke, &cfg)))
     });
     group.bench_function("table4_improvement_vs_jobs", |b| {
-        b.iter(|| black_box(experiments::table4(Scale::Smoke)))
+        b.iter(|| black_box(experiments::table4(Scale::Smoke, &cfg)))
     });
     group.bench_function("table6_blast_wien2k", |b| {
-        b.iter(|| black_box(experiments::table6(Scale::Smoke)))
+        b.iter(|| black_box(experiments::table6(Scale::Smoke, &cfg)))
     });
     group.bench_function("table7_improvement_vs_parallelism", |b| {
-        b.iter(|| black_box(experiments::table7(Scale::Smoke)))
+        b.iter(|| black_box(experiments::table7(Scale::Smoke, &cfg)))
     });
     group.bench_function("table8_improvement_vs_app_ccr", |b| {
-        b.iter(|| black_box(experiments::table8(Scale::Smoke)))
+        b.iter(|| black_box(experiments::table8(Scale::Smoke, &cfg)))
     });
     for which in ['a', 'b', 'c', 'd', 'e', 'f'] {
         group.bench_function(format!("fig8{which}"), |b| {
-            b.iter(|| black_box(experiments::fig8(Scale::Smoke, which)))
+            b.iter(|| black_box(experiments::fig8(Scale::Smoke, which, &cfg)))
         });
     }
     group.finish();

@@ -1,98 +1,87 @@
 //! Experiment CLI — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--scale smoke|default|full] [--csv DIR] <artifact>...
+//! experiments [--scale smoke|default|full] [--csv DIR]
+//!             [--threads N] [--shard i/m] [--quiet] <artifact>...
 //! artifacts: fig5 headline table3 table4 table6 table7 table8
 //!            fig8a..fig8f ablations all
 //! ```
+//!
+//! `--threads N` fans the case sweep out over N worker threads;
+//! `--shard i/m` computes only this process's row groups so one artifact
+//! can be split across machines (CI sharding) — interleaving the shards'
+//! CSV rows round-robin (row j from shard j mod m) reproduces the
+//! unsharded output byte for byte. See `docs/REPRODUCING.md` for the
+//! artifact ↔ paper mapping.
 
-use std::path::PathBuf;
 use std::time::Instant;
 
+use aheft_bench::cli::{parse_args, usage};
 use aheft_bench::experiments;
-use aheft_bench::scale::Scale;
 use aheft_bench::tables::TextTable;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Default;
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut artifacts: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = it.next().unwrap_or_default();
-                scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale '{v}' (smoke|default|full)");
-                    std::process::exit(2);
-                });
-            }
-            "--csv" => {
-                csv_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| "results".into())));
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: experiments [--scale smoke|default|full] [--csv DIR] <artifact>...\n\
-                     artifacts: fig5 headline table3 table4 table6 table7 table8 \
-                     fig8a fig8b fig8c fig8d fig8e fig8f ablations all"
-                );
-                return;
-            }
-            other => artifacts.push(other.to_string()),
+    let args = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{}", usage());
+            std::process::exit(2);
         }
+    };
+    if args.help {
+        println!("{}", usage());
+        return;
     }
-    if artifacts.is_empty() {
-        artifacts.push("all".into());
-    }
-    if artifacts.iter().any(|a| a == "all") {
-        artifacts = [
-            "fig5",
-            "headline",
-            "table3",
-            "table4",
-            "table6",
-            "table7",
-            "table8",
-            "fig8a",
-            "fig8b",
-            "fig8c",
-            "fig8d",
-            "fig8e",
-            "fig8f",
-            "ablations",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    }
+    let scale = args.scale;
+    let cfg = &args.sweep;
 
-    for artifact in &artifacts {
+    for artifact in &args.artifacts {
         let start = Instant::now();
-        let tables: Vec<TextTable> = match artifact.as_str() {
+        let mut tables: Vec<TextTable> = match artifact.as_str() {
             "fig5" => experiments::fig5(),
-            "headline" => vec![experiments::headline(scale)],
-            "table3" => vec![experiments::table3(scale)],
-            "table4" => vec![experiments::table4(scale)],
-            "table6" => vec![experiments::table6(scale)],
-            "table7" => vec![experiments::table7(scale)],
-            "table8" => vec![experiments::table8(scale)],
-            f8 if f8.starts_with("fig8") && f8.len() == 5 => {
-                vec![experiments::fig8(scale, f8.chars().last().expect("len 5"))]
+            "headline" => vec![experiments::headline(scale, cfg)],
+            "table3" => vec![experiments::table3(scale, cfg)],
+            "table4" => vec![experiments::table4(scale, cfg)],
+            "table6" => vec![experiments::table6(scale, cfg)],
+            "table7" => vec![experiments::table7(scale, cfg)],
+            "table8" => vec![experiments::table8(scale, cfg)],
+            f8 if f8.starts_with("fig8") => {
+                vec![experiments::fig8(scale, f8.chars().last().expect("validated"), cfg)]
             }
-            "ablations" => experiments::ablations(scale),
-            other => {
-                eprintln!("unknown artifact '{other}' — see --help");
-                std::process::exit(2);
-            }
+            "ablations" => experiments::ablations(scale, cfg),
+            other => unreachable!("parse_args validated '{other}'"),
         };
+        // A sharded process emits only its own rows; say so instead of
+        // letting the footnote's full-grid case counts imply a full run.
+        // (fig5 is a worked example, not a sweep — every shard prints it.)
+        if cfg.shard.count > 1 && artifact != "fig5" {
+            let (i, m) = (cfg.shard.index, cfg.shard.count);
+            for t in &mut tables {
+                let marker = if t.rows.is_empty() {
+                    eprintln!(
+                        "warning: shard {i}/{m} owns no rows of '{}' — this table has \
+                         fewer row groups than shards",
+                        t.title
+                    );
+                    format!("[shard {i}/{m}: no rows owned by this shard]")
+                } else {
+                    format!("[shard {i}/{m}: partial rows; case counts refer to the full table]")
+                };
+                if t.note.is_empty() {
+                    t.note = marker;
+                } else {
+                    t.note = format!("{} {marker}", t.note);
+                }
+            }
+        }
         for (i, t) in tables.iter().enumerate() {
             println!("{}", t.render());
-            if let Some(dir) = &csv_dir {
+            if let Some(dir) = &args.csv_dir {
                 let name =
                     if tables.len() == 1 { artifact.clone() } else { format!("{artifact}_{i}") };
                 if let Err(e) = t.write_csv(dir, &name) {
                     eprintln!("failed to write {name}.csv: {e}");
+                    std::process::exit(1);
                 }
             }
         }

@@ -1,0 +1,195 @@
+//! Argument parsing for the `experiments` binary, kept in the library so
+//! the parser is unit-testable and validation happens **before** any sweep
+//! runs (an unknown artifact at the end of the list must not waste the
+//! minutes the earlier artifacts took).
+
+use std::path::PathBuf;
+
+use crate::scale::Scale;
+use crate::sweep::{Shard, SweepConfig};
+
+/// Every artifact name the binary accepts (besides the `all` alias).
+pub const ARTIFACTS: [&str; 14] = [
+    "fig5",
+    "headline",
+    "table3",
+    "table4",
+    "table6",
+    "table7",
+    "table8",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "fig8e",
+    "fig8f",
+    "ablations",
+];
+
+/// Parsed command line of the `experiments` binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Grid coverage (`--scale smoke|default|full`).
+    pub scale: Scale,
+    /// CSV output directory (`--csv DIR`), if requested.
+    pub csv_dir: Option<PathBuf>,
+    /// Sweep execution: `--threads N`, `--shard i/m`, `--quiet`.
+    pub sweep: SweepConfig,
+    /// Validated artifact names, `all` already expanded, in run order.
+    pub artifacts: Vec<String>,
+    /// `--help` was requested; print [`usage`] and exit 0.
+    pub help: bool,
+}
+
+/// The usage string printed by `--help` and on parse errors.
+pub fn usage() -> String {
+    format!(
+        "usage: experiments [--scale smoke|default|full] [--csv DIR]\n\
+        \x20                  [--threads N] [--shard i/m] [--quiet] <artifact>...\n\
+         artifacts: {} all\n\
+         --threads N   worker threads for the case sweep (default: all cores)\n\
+         --shard i/m   compute only table rows with index ≡ i (mod m) — split\n\
+        \x20              one artifact across m independent processes; taking\n\
+        \x20              row j of each table from shard j mod m rebuilds the\n\
+        \x20              unsharded CSV byte for byte\n\
+         --quiet       suppress the live done/total case counter",
+        ARTIFACTS.join(" ")
+    )
+}
+
+fn flag_value(it: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, String> {
+    match it.next() {
+        // A following flag means the value was forgotten, not that the
+        // flag was meant literally ("--csv --quiet" must not write into
+        // a directory named "--quiet").
+        Some(v) if !v.starts_with('-') => Ok(v),
+        _ => Err(format!("{flag} requires a value")),
+    }
+}
+
+/// Parse and validate the command line (everything after the program name).
+/// Returns `Err(message)` for anything malformed; the caller prints the
+/// message plus [`usage`] and exits non-zero.
+pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
+    let mut scale = Scale::Default;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut sweep = SweepConfig { progress: true, ..SweepConfig::default() };
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = flag_value(&mut it, "--scale")?;
+                scale = Scale::parse(&v)
+                    .ok_or_else(|| format!("unknown scale '{v}' (smoke|default|full)"))?;
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(flag_value(&mut it, "--csv")?));
+            }
+            "--threads" => {
+                let v = flag_value(&mut it, "--threads")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--threads expects a number, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                sweep.threads = n;
+            }
+            "--shard" => {
+                let v = flag_value(&mut it, "--shard")?;
+                sweep.shard = Shard::parse(&v)
+                    .ok_or_else(|| format!("--shard expects i/m with i < m, got '{v}'"))?;
+            }
+            "--quiet" => sweep.progress = false,
+            "--help" | "-h" => {
+                return Ok(Args { scale, csv_dir, sweep, artifacts: Vec::new(), help: true });
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".into());
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(bad) = artifacts.iter().find(|a| !ARTIFACTS.contains(&a.as_str())) {
+        return Err(format!("unknown artifact '{bad}'"));
+    }
+    Ok(Args { scale, csv_dir, sweep, artifacts, help: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn unknown_artifact_is_rejected_upfront() {
+        for bad in ["bogus", "fig8g", "table5", "fig8aa"] {
+            let err = parse(&["table3", bad]).expect_err(bad);
+            assert!(err.contains(bad), "error should name the artifact: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_scale_is_rejected() {
+        assert!(parse(&["--scale", "huge"]).is_err());
+        assert!(parse(&["--scale"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn scale_parse_rejects_bad_input() {
+        for bad in ["", "Smoke", "FULL", "medium", "smoke ", "0"] {
+            assert_eq!(Scale::parse(bad), None, "should reject {bad:?}");
+        }
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+    }
+
+    #[test]
+    fn all_expands_to_every_artifact() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.artifacts.len(), ARTIFACTS.len());
+        let b = parse(&["all"]).unwrap();
+        assert_eq!(a.artifacts, b.artifacts);
+    }
+
+    #[test]
+    fn threads_and_shard_parse() {
+        let a = parse(&["--threads", "4", "--shard", "1/2", "table3"]).unwrap();
+        assert_eq!(a.sweep.threads, 4);
+        assert_eq!(a.sweep.shard, Shard { index: 1, count: 2 });
+        assert_eq!(a.artifacts, vec!["table3"]);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "four"]).is_err());
+        assert!(parse(&["--shard", "2/2"]).is_err());
+        assert!(parse(&["--shard", "nope"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn flag_never_swallows_a_following_flag_as_its_value() {
+        // "--csv --quiet" must not write CSVs into a directory named
+        // "--quiet" while leaving progress output on.
+        let err = parse(&["--csv", "--quiet", "table3"]).expect_err("missing value");
+        assert!(err.contains("--csv"), "error should name the flag: {err}");
+        assert!(parse(&["--scale", "--threads"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        let a = parse(&["--help", "bogus-not-validated"]).unwrap();
+        assert!(a.help);
+        assert!(usage().contains("--shard"));
+    }
+}

@@ -1,6 +1,13 @@
 //! One function per paper artifact. Each returns [`TextTable`]s ready to
 //! print and persist; the binary in `src/bin/experiments.rs` dispatches.
 //!
+//! Every artifact expands its parameter grid into an ordered list of **row
+//! groups** — one group of independent [`Case`] descriptors per output row
+//! — and executes them as a single flat parallel sweep through
+//! [`run_sharded`]. Case seeds are functions of the grid coordinates, so
+//! results are bit-identical for any `--threads` value and any `--shard`
+//! split (pinned by `tests/sweep_determinism.rs`).
+//!
 //! Absolute makespans use `ω_DAG = 100` time units (the paper never states
 //! its unit), so only *shapes* — orderings, trends, crossovers — are
 //! comparable to the paper's absolute numbers. Each table's note carries
@@ -14,8 +21,9 @@ use aheft_workflow::generators::blast::AppDagParams;
 use aheft_workflow::generators::random::RandomDagParams;
 use aheft_workflow::sample;
 
-use crate::harness::{mix_seed, run_cases, Case, CaseResult, Workload};
+use crate::harness::{mix_seed, run_case, Case, CaseResult, Workload};
 use crate::scale::Scale;
+use crate::sweep::{run_sharded, SweepConfig};
 use crate::tables::{mk, pct, TextTable};
 
 /// Subsample `values` with the scale's stride, always keeping the first and
@@ -142,6 +150,9 @@ fn app_cases(
 /// Swept application axes `(ccr, beta, pool, delta, fraction)`.
 type AppAxes = (Vec<f64>, Vec<f64>, Vec<usize>, Vec<f64>, Vec<f64>);
 
+/// An application-workload constructor (BLAST, WIEN2K, …).
+type MakeApp = fn(AppDagParams) -> Workload;
+
 /// Default (non-swept) application axes: a light average representative of
 /// Table 5's grid.
 fn app_defaults(scale: Scale) -> AppAxes {
@@ -164,6 +175,15 @@ fn mean_improvement(results: &[CaseResult]) -> (Running, Running, f64) {
         imp.push(r.improvement());
     }
     (heft, aheft, imp.mean())
+}
+
+/// Concatenate the two application series of one row group (paper Tables
+/// 7/8, Fig. 8): BLAST cases first, WIEN2K after the returned split index.
+fn two_app_group(blast: Vec<Case>, wien2k: Vec<Case>) -> (Vec<Case>, usize) {
+    let split = blast.len();
+    let mut cases = blast;
+    cases.extend(wien2k);
+    (cases, split)
 }
 
 // ---------------------------------------------------------------------------
@@ -215,53 +235,54 @@ pub fn fig5() -> Vec<TextTable> {
 }
 
 /// §4.2 headline — average makespans of HEFT, AHEFT and dynamic Min-Min
-/// over the random-DAG campaign.
-pub fn headline(scale: Scale) -> TextTable {
-    let cases = random_cases(scale, None, None);
-    let results = run_cases(&cases, true);
-    let mut heft = Running::new();
-    let mut aheft = Running::new();
-    let mut minmin = Running::new();
-    for r in &results {
-        heft.push(r.heft);
-        aheft.push(r.aheft);
-        minmin.push(r.minmin.expect("headline runs min-min"));
-    }
+/// over the random-DAG campaign. One row group: the whole campaign.
+pub fn headline(scale: Scale, cfg: &SweepConfig) -> TextTable {
+    let groups = vec![random_cases(scale, None, None)];
+    let total = groups[0].len();
     let mut t = TextTable::new(
         "§4.2 headline — average makespan over random DAGs",
         &["strategy", "avg makespan", "vs HEFT"],
     );
-    t.row(vec!["HEFT".into(), mk(heft.mean()), "-".into()]);
-    t.row(vec![
-        "AHEFT".into(),
-        mk(aheft.mean()),
-        pct(aheft_core::metrics::improvement_rate(heft.mean(), aheft.mean())),
-    ]);
-    t.row(vec![
-        "Min-Min (dynamic)".into(),
-        mk(minmin.mean()),
-        pct(aheft_core::metrics::improvement_rate(heft.mean(), minmin.mean())),
-    ]);
+    for (_, results) in run_sharded(&groups, cfg, |c| run_case(c, true)) {
+        let mut heft = Running::new();
+        let mut aheft = Running::new();
+        let mut minmin = Running::new();
+        for r in &results {
+            heft.push(r.heft);
+            aheft.push(r.aheft);
+            minmin.push(r.minmin.expect("headline runs min-min"));
+        }
+        t.row(vec!["HEFT".into(), mk(heft.mean()), "-".into()]);
+        t.row(vec![
+            "AHEFT".into(),
+            mk(aheft.mean()),
+            pct(aheft_core::metrics::improvement_rate(heft.mean(), aheft.mean())),
+        ]);
+        t.row(vec![
+            "Min-Min (dynamic)".into(),
+            mk(minmin.mean()),
+            pct(aheft_core::metrics::improvement_rate(heft.mean(), minmin.mean())),
+        ]);
+    }
     t.note = format!(
-        "paper: HEFT 4075, AHEFT 3911, Min-Min 12352 ({} cases here; paper used 500,000)",
-        results.len()
+        "paper: HEFT 4075, AHEFT 3911, Min-Min 12352 ({total} cases here; paper used 500,000)"
     );
     t
 }
 
 /// Table 3 — improvement rate of AHEFT over HEFT vs CCR (random DAGs).
-pub fn table3(scale: Scale) -> TextTable {
+/// One row group per CCR value.
+pub fn table3(scale: Scale, cfg: &SweepConfig) -> TextTable {
     let mut t = TextTable::new(
         "Table 3 — improvement rate vs CCR (random DAGs)",
         &["CCR", "HEFT", "AHEFT", "improvement"],
     );
-    let mut total = 0;
-    for &ccr in &CCR {
-        let cases = random_cases(scale, Some(ccr), None);
-        total += cases.len();
-        let results = run_cases(&cases, false);
+    let groups: Vec<Vec<Case>> =
+        CCR.iter().map(|&ccr| random_cases(scale, Some(ccr), None)).collect();
+    let total: usize = groups.iter().map(Vec::len).sum();
+    for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
         let (h, a, imp) = mean_improvement(&results);
-        t.row(vec![format!("{ccr}"), mk(h.mean()), mk(a.mean()), pct(imp)]);
+        t.row(vec![format!("{}", CCR[gi]), mk(h.mean()), mk(a.mean()), pct(imp)]);
     }
     t.note = format!(
         "paper: 0.4% / 0.5% / 0.7% / 3.2% / 7.7% — improvement rises with CCR ({total} cases)"
@@ -270,18 +291,17 @@ pub fn table3(scale: Scale) -> TextTable {
 }
 
 /// Table 4 — improvement rate vs total number of jobs (random DAGs).
-pub fn table4(scale: Scale) -> TextTable {
+/// One row group per DAG size.
+pub fn table4(scale: Scale, cfg: &SweepConfig) -> TextTable {
     let mut t = TextTable::new(
         "Table 4 — improvement rate vs number of jobs (random DAGs)",
         &["jobs", "HEFT", "AHEFT", "improvement"],
     );
-    let mut total = 0;
-    for &v in &JOBS {
-        let cases = random_cases(scale, None, Some(v));
-        total += cases.len();
-        let results = run_cases(&cases, false);
+    let groups: Vec<Vec<Case>> = JOBS.iter().map(|&v| random_cases(scale, None, Some(v))).collect();
+    let total: usize = groups.iter().map(Vec::len).sum();
+    for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
         let (h, a, imp) = mean_improvement(&results);
-        t.row(vec![v.to_string(), mk(h.mean()), mk(a.mean()), pct(imp)]);
+        t.row(vec![JOBS[gi].to_string(), mk(h.mean()), mk(a.mean()), pct(imp)]);
     }
     t.note =
         format!("paper: 2.9% / 3.9% / 4.3% / 4.2% / 4.1% — jumps then stabilises ({total} cases)");
@@ -289,48 +309,53 @@ pub fn table4(scale: Scale) -> TextTable {
 }
 
 /// Table 6 — average makespan and improvement for BLAST and WIEN2K.
-pub fn table6(scale: Scale) -> TextTable {
+/// One row group per application.
+pub fn table6(scale: Scale, cfg: &SweepConfig) -> TextTable {
     let (ccrs, betas, pools, deltas, fracs) = app_defaults(scale);
     let mut t = TextTable::new(
         "Table 6 — BLAST / WIEN2K average makespan",
         &["application", "HEFT", "AHEFT", "improvement"],
     );
-    let mut total = 0;
-    for (name, make) in
-        [("BLAST", Workload::Blast as fn(AppDagParams) -> Workload), ("WIEN2K", Workload::Wien2k)]
-    {
-        let cases = app_cases(
-            scale,
-            make,
-            &scale.app_parallelism(),
-            &ccrs,
-            &betas,
-            &pools,
-            &deltas,
-            &fracs,
-        );
-        total += cases.len();
-        let results = run_cases(&cases, false);
+    let apps =
+        [("BLAST", Workload::Blast as fn(AppDagParams) -> Workload), ("WIEN2K", Workload::Wien2k)];
+    let groups: Vec<Vec<Case>> = apps
+        .iter()
+        .map(|&(_, make)| {
+            app_cases(scale, make, &scale.app_parallelism(), &ccrs, &betas, &pools, &deltas, &fracs)
+        })
+        .collect();
+    let total: usize = groups.iter().map(Vec::len).sum();
+    for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
         let (h, a, imp) = mean_improvement(&results);
-        t.row(vec![name.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
+        t.row(vec![apps[gi].0.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
     }
     t.note = format!("paper: BLAST 4939->3933 (20.4%), WIEN2K 3452->3234 (6.3%) ({total} cases)");
     t
 }
 
 /// Table 7 — improvement rate vs parallelism for BLAST and WIEN2K.
-pub fn table7(scale: Scale) -> TextTable {
+/// One row group per parallelism value (both applications in the group).
+pub fn table7(scale: Scale, cfg: &SweepConfig) -> TextTable {
     let (ccrs, betas, pools, deltas, fracs) = app_defaults(scale);
     let mut t = TextTable::new(
         "Table 7 — improvement rate vs number of jobs (applications)",
         &["parallelism", "BLAST", "WIEN2K"],
     );
-    for &n in &scale.app_parallelism() {
-        let mut cells = vec![n.to_string()];
-        for make in [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k] {
-            let cases = app_cases(scale, make, &[n], &ccrs, &betas, &pools, &deltas, &fracs);
-            let results = run_cases(&cases, false);
-            let (_, _, imp) = mean_improvement(&results);
+    let ns = scale.app_parallelism();
+    let (groups, splits): (Vec<Vec<Case>>, Vec<usize>) = ns
+        .iter()
+        .map(|&n| {
+            two_app_group(
+                app_cases(scale, Workload::Blast, &[n], &ccrs, &betas, &pools, &deltas, &fracs),
+                app_cases(scale, Workload::Wien2k, &[n], &ccrs, &betas, &pools, &deltas, &fracs),
+            )
+        })
+        .unzip();
+    for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
+        let (blast, wien2k) = results.split_at(splits[gi]);
+        let mut cells = vec![ns[gi].to_string()];
+        for series in [blast, wien2k] {
+            let (_, _, imp) = mean_improvement(series);
             cells.push(pct(imp));
         }
         t.row(cells);
@@ -340,27 +365,28 @@ pub fn table7(scale: Scale) -> TextTable {
 }
 
 /// Table 8 — improvement rate vs CCR for BLAST and WIEN2K.
-pub fn table8(scale: Scale) -> TextTable {
+/// One row group per CCR value (both applications in the group).
+pub fn table8(scale: Scale, cfg: &SweepConfig) -> TextTable {
     let (_, betas, pools, deltas, fracs) = app_defaults(scale);
     let mut t = TextTable::new(
         "Table 8 — improvement rate vs CCR (applications)",
         &["CCR", "BLAST", "WIEN2K"],
     );
-    for &ccr in &APP_CCR {
-        let mut cells = vec![format!("{ccr}")];
-        for make in [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k] {
-            let cases = app_cases(
-                scale,
-                make,
-                &scale.app_parallelism(),
-                &[ccr],
-                &betas,
-                &pools,
-                &deltas,
-                &fracs,
-            );
-            let results = run_cases(&cases, false);
-            let (_, _, imp) = mean_improvement(&results);
+    let ns = scale.app_parallelism();
+    let (groups, splits): (Vec<Vec<Case>>, Vec<usize>) = APP_CCR
+        .iter()
+        .map(|&ccr| {
+            two_app_group(
+                app_cases(scale, Workload::Blast, &ns, &[ccr], &betas, &pools, &deltas, &fracs),
+                app_cases(scale, Workload::Wien2k, &ns, &[ccr], &betas, &pools, &deltas, &fracs),
+            )
+        })
+        .unzip();
+    for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
+        let (blast, wien2k) = results.split_at(splits[gi]);
+        let mut cells = vec![format!("{}", APP_CCR[gi])];
+        for series in [blast, wien2k] {
+            let (_, _, imp) = mean_improvement(series);
             cells.push(pct(imp));
         }
         t.row(cells);
@@ -371,7 +397,8 @@ pub fn table8(scale: Scale) -> TextTable {
 
 /// Fig. 8 — average makespan of HEFT1/AHEFT1 (BLAST) and HEFT2/AHEFT2
 /// (WIEN2K) against one swept parameter (`which` in `'a'..='f'`).
-pub fn fig8(scale: Scale, which: char) -> TextTable {
+/// One row group per x-value (both applications in the group).
+pub fn fig8(scale: Scale, which: char, cfg: &SweepConfig) -> TextTable {
     // Defaults for the non-swept axes.
     let default_n = match scale {
         Scale::Smoke => 50,
@@ -398,8 +425,7 @@ pub fn fig8(scale: Scale, which: char) -> TextTable {
         _ => panic!("fig8 sub-figure must be a..f"),
     };
 
-    let mut t = TextTable::new(title, &[xlabel, "HEFT1", "AHEFT1", "HEFT2", "AHEFT2"]);
-    for &x in &xs {
+    let series_cases = |make: fn(AppDagParams) -> Workload, x: f64| -> Vec<Case> {
         let mut params = base;
         let (mut r, mut dl, mut fr) = (def_r, def_delta, def_frac);
         match which {
@@ -411,20 +437,29 @@ pub fn fig8(scale: Scale, which: char) -> TextTable {
             'f' => fr = x,
             _ => unreachable!(),
         }
-        let mut cells = vec![format!("{x}")];
-        for make in [Workload::Blast as fn(AppDagParams) -> Workload, Workload::Wien2k] {
-            let mut cases = Vec::new();
-            for s in 0..scale.seeds().max(2) {
-                cases.push(Case {
-                    workload: make(params),
-                    resources: r,
-                    delta_interval: Some(dl),
-                    delta_fraction: fr,
-                    seed: mix_seed((x * 1000.0) as u64 + which as u64, s),
-                });
-            }
-            let results = run_cases(&cases, false);
-            let (h, a, _) = mean_improvement(&results);
+        (0..scale.seeds().max(2))
+            .map(|s| Case {
+                workload: make(params),
+                resources: r,
+                delta_interval: Some(dl),
+                delta_fraction: fr,
+                seed: mix_seed((x * 1000.0) as u64 + which as u64, s),
+            })
+            .collect()
+    };
+
+    let mut t = TextTable::new(title, &[xlabel, "HEFT1", "AHEFT1", "HEFT2", "AHEFT2"]);
+    let (groups, splits): (Vec<Vec<Case>>, Vec<usize>) = xs
+        .iter()
+        .map(|&x| {
+            two_app_group(series_cases(Workload::Blast, x), series_cases(Workload::Wien2k, x))
+        })
+        .unzip();
+    for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
+        let (blast, wien2k) = results.split_at(splits[gi]);
+        let mut cells = vec![format!("{}", xs[gi])];
+        for series in [blast, wien2k] {
+            let (h, a, _) = mean_improvement(series);
             cells.push(mk(h.mean()));
             cells.push(mk(a.mean()));
         }
@@ -434,13 +469,163 @@ pub fn fig8(scale: Scale, which: char) -> TextTable {
     t
 }
 
-/// Design-choice ablations (ours; DESIGN.md §4).
-pub fn ablations(scale: Scale) -> Vec<TextTable> {
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+/// Which scheduler variant an ablation case evaluates.
+#[derive(Clone, Copy)]
+enum AblationRun {
+    /// Static HEFT under a slot policy; reports its makespan.
+    HeftSlot(SlotPolicy),
+    /// AHEFT with a reschedulable-set choice; reports makespan+reschedules.
+    AheftSet(ReschedulableSet),
+    /// AHEFT under a trigger policy; reports makespan+evaluations.
+    AheftPolicy(ReschedulePolicy),
+    /// A dynamic just-in-time heuristic; reports its makespan.
+    Dynamic(DynamicHeuristic),
+    /// The standard HEFT-vs-AHEFT paired run.
+    Paired,
+}
+
+/// One ablation case: a grid scenario plus the variant to evaluate.
+#[derive(Clone, Copy)]
+struct AblationCase {
+    case: Case,
+    run: AblationRun,
+}
+
+/// Uniform ablation result; unused fields are zero.
+#[derive(Clone, Copy, Default)]
+struct AblationResult {
+    makespan: f64,
+    reschedules: f64,
+    evaluations: f64,
+    /// `(heft, aheft)` for [`AblationRun::Paired`] rows.
+    paired: Option<(f64, f64, usize)>,
+}
+
+fn run_ablation(ac: &AblationCase) -> AblationResult {
+    if let AblationRun::Paired = ac.run {
+        let r = run_case(&ac.case, false);
+        return AblationResult {
+            paired: Some((r.heft, r.aheft, r.jobs)),
+            makespan: r.aheft,
+            reschedules: r.reschedules as f64,
+            ..Default::default()
+        };
+    }
+    let (wf, costs, sim_seed) = ac.case.materialize();
+    let dynamics = ac.case.dynamics();
+    match ac.run {
+        AblationRun::HeftSlot(policy) => {
+            let cfg = RunConfig {
+                aheft: AheftConfig { slot_policy: policy, ..Default::default() },
+                ..Default::default()
+            };
+            let rep = run_static_heft_with(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, &cfg);
+            AblationResult { makespan: rep.makespan, ..Default::default() }
+        }
+        AblationRun::AheftSet(set) => {
+            let cfg = RunConfig {
+                aheft: AheftConfig { reschedulable: set, ..Default::default() },
+                ..Default::default()
+            };
+            let rep = run_aheft_with(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, &cfg);
+            AblationResult {
+                makespan: rep.makespan,
+                reschedules: rep.reschedules as f64,
+                ..Default::default()
+            }
+        }
+        AblationRun::AheftPolicy(policy) => {
+            let cfg = RunConfig { policy, ..Default::default() };
+            let rep = run_aheft_with(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, &cfg);
+            AblationResult {
+                makespan: rep.makespan,
+                evaluations: rep.evaluations as f64,
+                ..Default::default()
+            }
+        }
+        AblationRun::Dynamic(h) => {
+            let rep = run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, h);
+            AblationResult { makespan: rep.makespan, ..Default::default() }
+        }
+        AblationRun::Paired => unreachable!("handled above"),
+    }
+}
+
+/// Design-choice ablations (ours; DESIGN.md §4). Five tables; every row is
+/// one row group and each table runs as its own flat sweep, so `--shard`
+/// partitions each table's rows by `row_index % m` exactly like the
+/// single-table artifacts.
+pub fn ablations(scale: Scale, sweep_cfg: &SweepConfig) -> Vec<TextTable> {
     let seeds = scale.seeds().max(2);
     let n = match scale {
         Scale::Smoke => 30,
         _ => 100,
     };
+
+    let random_case = |jobs: usize, ccr: Option<f64>, dyn_pool: bool, tag: u64, s: u64| Case {
+        workload: Workload::Random(RandomDagParams {
+            jobs,
+            ccr: ccr.unwrap_or(RandomDagParams::paper_default().ccr),
+            ..RandomDagParams::paper_default()
+        }),
+        resources: 10,
+        delta_interval: dyn_pool.then_some(400.0),
+        delta_fraction: if dyn_pool { 0.10 } else { 0.0 },
+        seed: mix_seed(tag, s),
+    };
+    let blast_case = |frac: f64, tag: u64, s: u64| Case {
+        workload: Workload::Blast(AppDagParams { parallelism: n, ..AppDagParams::paper_default() }),
+        resources: 10,
+        delta_interval: Some(400.0),
+        delta_fraction: frac,
+        seed: mix_seed(tag, s),
+    };
+
+    // Row definitions: (table, row label, cases). Group order is the row
+    // order, so shard splits partition whole rows.
+    let slot_rows: Vec<(&str, SlotPolicy)> = vec![
+        ("insertion (HEFT [19])", SlotPolicy::Insertion),
+        ("end-of-queue (Fig. 3)", SlotPolicy::EndOfQueue),
+    ];
+    let set_rows: Vec<(&str, ReschedulableSet)> = vec![
+        ("abort running (paper text)", ReschedulableSet::AllUnfinished),
+        ("pin running", ReschedulableSet::NotStarted),
+    ];
+    let policy_rows: Vec<(&str, ReschedulePolicy)> = vec![
+        ("on pool change (paper)", ReschedulePolicy::OnPoolChange),
+        ("periodic 200", ReschedulePolicy::Periodic { period: 200.0 }),
+        ("never (= static)", ReschedulePolicy::Never),
+    ];
+    let dyn_rows: Vec<(&str, DynamicHeuristic)> = vec![
+        ("Min-Min (paper)", DynamicHeuristic::MinMin),
+        ("Max-Min", DynamicHeuristic::MaxMin),
+        ("Sufferage", DynamicHeuristic::Sufferage),
+    ];
+    let shape_rows: Vec<(&str, MakeApp)> = vec![
+        ("BLAST (wide)", Workload::Blast),
+        ("WIEN2K (bottlenecked)", Workload::Wien2k),
+        ("Montage (mixed)", Workload::Montage),
+        ("Gauss (narrowing)", Workload::Gauss),
+    ];
+
+    // Each table shards independently (its row i belongs to shard i % m),
+    // so the row ↔ shard rule of single-table artifacts holds for every
+    // ablation table too and sharded CSVs merge the same way everywhere.
+    let run_table = |groups: Vec<Vec<AblationCase>>| -> Vec<(usize, Vec<AblationResult>)> {
+        run_sharded(&groups, sweep_cfg, run_ablation)
+    };
+    let mean = |rs: &[AblationResult], get: fn(&AblationResult) -> f64| -> f64 {
+        let mut acc = Running::new();
+        for r in rs {
+            acc.push(get(r));
+        }
+        acc.mean()
+    };
+
     let mut out = Vec::new();
 
     // 1. Insertion vs end-of-queue slot policy (HEFT on random DAGs).
@@ -448,33 +633,19 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
         "Ablation — slot policy (static HEFT, random DAGs)",
         &["policy", "avg makespan"],
     );
-    for (name, policy) in [
-        ("insertion (HEFT [19])", SlotPolicy::Insertion),
-        ("end-of-queue (Fig. 3)", SlotPolicy::EndOfQueue),
-    ] {
-        let mut acc = Running::new();
-        for s in 0..seeds * 8 {
-            let case = Case {
-                workload: Workload::Random(RandomDagParams {
-                    jobs: n,
-                    ..RandomDagParams::paper_default()
-                }),
-                resources: 10,
-                delta_interval: None,
-                delta_fraction: 0.0,
-                seed: mix_seed(901, s),
-            };
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
-            let wf = case.workload.generate(&mut rng);
-            let costs = wf.sample_table(case.resources, &mut rng);
-            let cfg = RunConfig {
-                aheft: AheftConfig { slot_policy: policy, ..Default::default() },
-                ..Default::default()
-            };
-            let rep = run_static_heft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
-            acc.push(rep.makespan);
-        }
-        t1.row(vec![name.into(), mk(acc.mean())]);
+    let groups = slot_rows
+        .iter()
+        .map(|&(_, policy)| {
+            (0..seeds * 8)
+                .map(|s| AblationCase {
+                    case: random_case(n, None, false, 901, s),
+                    run: AblationRun::HeftSlot(policy),
+                })
+                .collect()
+        })
+        .collect();
+    for (gi, rs) in run_table(groups) {
+        t1.row(vec![slot_rows[gi].0.into(), mk(mean(&rs, |r| r.makespan))]);
     }
     out.push(t1);
 
@@ -483,35 +654,23 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
         "Ablation — running jobs at reschedule (AHEFT, BLAST)",
         &["mode", "avg makespan", "avg reschedules"],
     );
-    for (name, set) in [
-        ("abort running (paper text)", ReschedulableSet::AllUnfinished),
-        ("pin running", ReschedulableSet::NotStarted),
-    ] {
-        let mut acc = Running::new();
-        let mut res = Running::new();
-        for s in 0..seeds * 4 {
-            let case = Case {
-                workload: Workload::Blast(AppDagParams {
-                    parallelism: n,
-                    ..AppDagParams::paper_default()
-                }),
-                resources: 10,
-                delta_interval: Some(400.0),
-                delta_fraction: 0.25,
-                seed: mix_seed(902, s),
-            };
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
-            let wf = case.workload.generate(&mut rng);
-            let costs = wf.sample_table(case.resources, &mut rng);
-            let cfg = RunConfig {
-                aheft: AheftConfig { reschedulable: set, ..Default::default() },
-                ..Default::default()
-            };
-            let rep = run_aheft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
-            acc.push(rep.makespan);
-            res.push(rep.reschedules as f64);
-        }
-        t2.row(vec![name.into(), mk(acc.mean()), format!("{:.1}", res.mean())]);
+    let groups = set_rows
+        .iter()
+        .map(|&(_, set)| {
+            (0..seeds * 4)
+                .map(|s| AblationCase {
+                    case: blast_case(0.25, 902, s),
+                    run: AblationRun::AheftSet(set),
+                })
+                .collect()
+        })
+        .collect();
+    for (gi, rs) in run_table(groups) {
+        t2.row(vec![
+            set_rows[gi].0.into(),
+            mk(mean(&rs, |r| r.makespan)),
+            format!("{:.1}", mean(&rs, |r| r.reschedules)),
+        ]);
     }
     out.push(t2);
 
@@ -520,33 +679,23 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
         "Ablation — rescheduling trigger (AHEFT, BLAST)",
         &["policy", "avg makespan", "avg evaluations"],
     );
-    for (name, policy) in [
-        ("on pool change (paper)", ReschedulePolicy::OnPoolChange),
-        ("periodic 200", ReschedulePolicy::Periodic { period: 200.0 }),
-        ("never (= static)", ReschedulePolicy::Never),
-    ] {
-        let mut acc = Running::new();
-        let mut ev = Running::new();
-        for s in 0..seeds * 4 {
-            let case = Case {
-                workload: Workload::Blast(AppDagParams {
-                    parallelism: n,
-                    ..AppDagParams::paper_default()
-                }),
-                resources: 10,
-                delta_interval: Some(400.0),
-                delta_fraction: 0.25,
-                seed: mix_seed(903, s),
-            };
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
-            let wf = case.workload.generate(&mut rng);
-            let costs = wf.sample_table(case.resources, &mut rng);
-            let cfg = RunConfig { policy, ..Default::default() };
-            let rep = run_aheft_with(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, &cfg);
-            acc.push(rep.makespan);
-            ev.push(rep.evaluations as f64);
-        }
-        t3.row(vec![name.into(), mk(acc.mean()), format!("{:.1}", ev.mean())]);
+    let groups = policy_rows
+        .iter()
+        .map(|&(_, policy)| {
+            (0..seeds * 4)
+                .map(|s| AblationCase {
+                    case: blast_case(0.25, 903, s),
+                    run: AblationRun::AheftPolicy(policy),
+                })
+                .collect()
+        })
+        .collect();
+    for (gi, rs) in run_table(groups) {
+        t3.row(vec![
+            policy_rows[gi].0.into(),
+            mk(mean(&rs, |r| r.makespan)),
+            format!("{:.1}", mean(&rs, |r| r.evaluations)),
+        ]);
     }
     out.push(t3);
 
@@ -555,31 +704,19 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
         "Ablation — dynamic heuristics (random DAGs, CCR=5)",
         &["heuristic", "avg makespan"],
     );
-    for (name, h) in [
-        ("Min-Min (paper)", DynamicHeuristic::MinMin),
-        ("Max-Min", DynamicHeuristic::MaxMin),
-        ("Sufferage", DynamicHeuristic::Sufferage),
-    ] {
-        let mut acc = Running::new();
-        for s in 0..seeds * 4 {
-            let case = Case {
-                workload: Workload::Random(RandomDagParams {
-                    jobs: n.min(60),
-                    ccr: 5.0,
-                    ..RandomDagParams::paper_default()
-                }),
-                resources: 10,
-                delta_interval: Some(400.0),
-                delta_fraction: 0.10,
-                seed: mix_seed(904, s),
-            };
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(case.seed);
-            let wf = case.workload.generate(&mut rng);
-            let costs = wf.sample_table(case.resources, &mut rng);
-            let rep = run_dynamic(&wf.dag, &costs, &wf.costgen, &case.dynamics(), s, h);
-            acc.push(rep.makespan);
-        }
-        t4.row(vec![name.into(), mk(acc.mean())]);
+    let groups = dyn_rows
+        .iter()
+        .map(|&(_, h)| {
+            (0..seeds * 4)
+                .map(|s| AblationCase {
+                    case: random_case(n.min(60), Some(5.0), true, 904, s),
+                    run: AblationRun::Dynamic(h),
+                })
+                .collect()
+        })
+        .collect();
+    for (gi, rs) in run_table(groups) {
+        t4.row(vec![dyn_rows[gi].0.into(), mk(mean(&rs, |r| r.makespan))]);
     }
     out.push(t4);
 
@@ -588,28 +725,40 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
         "Ablation — improvement rate by DAG shape",
         &["shape", "HEFT", "AHEFT", "improvement"],
     );
-    for (name, make) in [
-        ("BLAST (wide)", Workload::Blast as fn(AppDagParams) -> Workload),
-        ("WIEN2K (bottlenecked)", Workload::Wien2k),
-        ("Montage (mixed)", Workload::Montage),
-        ("Gauss (narrowing)", Workload::Gauss),
-    ] {
-        let mut cases = Vec::new();
-        for s in 0..seeds * 4 {
-            cases.push(Case {
-                workload: make(AppDagParams {
-                    parallelism: n.min(60),
-                    ..AppDagParams::paper_default()
-                }),
-                resources: 10,
-                delta_interval: Some(400.0),
-                delta_fraction: 0.25,
-                seed: mix_seed(905, s),
-            });
-        }
-        let results = run_cases(&cases, false);
-        let (h, a, imp) = mean_improvement(&results);
-        t5.row(vec![name.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
+    let groups = shape_rows
+        .iter()
+        .map(|&(_, make)| {
+            (0..seeds * 4)
+                .map(|s| AblationCase {
+                    case: Case {
+                        workload: make(AppDagParams {
+                            parallelism: n.min(60),
+                            ..AppDagParams::paper_default()
+                        }),
+                        resources: 10,
+                        delta_interval: Some(400.0),
+                        delta_fraction: 0.25,
+                        seed: mix_seed(905, s),
+                    },
+                    run: AblationRun::Paired,
+                })
+                .collect()
+        })
+        .collect();
+    for (gi, rs) in run_table(groups) {
+        let paired: Vec<CaseResult> = rs
+            .iter()
+            .filter_map(|r| r.paired)
+            .map(|(heft, aheft, jobs)| CaseResult {
+                heft,
+                aheft,
+                minmin: None,
+                reschedules: 0,
+                jobs,
+            })
+            .collect();
+        let (h, a, imp) = mean_improvement(&paired);
+        t5.row(vec![shape_rows[gi].0.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);
     }
     out.push(t5);
 
@@ -619,6 +768,7 @@ pub fn ablations(scale: Scale) -> Vec<TextTable> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::Shard;
 
     #[test]
     fn strided_keeps_extremes() {
@@ -648,5 +798,30 @@ mod tests {
         let tables = fig5();
         assert_eq!(tables[0].rows.len(), 3);
         assert_eq!(tables[0].rows[0][1], "80");
+    }
+
+    #[test]
+    fn table3_rows_are_independent_of_thread_count() {
+        let seq = table3(Scale::Smoke, &SweepConfig::sequential());
+        let par = table3(Scale::Smoke, &SweepConfig::with_threads(4));
+        assert_eq!(seq.rows, par.rows);
+        assert_eq!(seq.rows.len(), CCR.len());
+    }
+
+    #[test]
+    fn sharded_table_rows_union_to_full_run() {
+        let full = table4(Scale::Smoke, &SweepConfig::sequential());
+        let shard =
+            |index| SweepConfig { shard: Shard { index, count: 2 }, ..SweepConfig::sequential() };
+        let s0 = table4(Scale::Smoke, &shard(0));
+        let s1 = table4(Scale::Smoke, &shard(1));
+        // Groups are split round-robin, so interleave the shards' rows.
+        let mut merged = Vec::new();
+        let (mut i0, mut i1) = (s0.rows.iter(), s1.rows.iter());
+        for gi in 0..full.rows.len() {
+            let row = if gi % 2 == 0 { i0.next() } else { i1.next() };
+            merged.push(row.expect("shard owns this row").clone());
+        }
+        assert_eq!(merged, full.rows);
     }
 }

@@ -5,7 +5,18 @@
 //! resource-change model `(Δ, δ)`, and a seed. [`run_case`] executes the
 //! strategies on *the same* generated grid (identical DAG, identical cost
 //! table, identical late-arrival columns), which is the paper's paired
-//! methodology. Sweeps fan out over [`aheft_parcomp::par_map`].
+//! methodology. Sweeps fan out through [`crate::sweep::run_sharded`] (or
+//! directly over [`aheft_parcomp::par_map`] via [`run_cases`]).
+//!
+//! ## Seed streams
+//!
+//! A case's master seed is mixed from its grid *coordinates* (via
+//! [`mix_seed`]), never from execution order, and [`case_streams`] splits
+//! it into decorrelated sub-streams — one for DAG generation, one for
+//! cost-table sampling, one for the simulator. Cost sampling therefore
+//! does not depend on how many draws the DAG generator consumed, and the
+//! AHEFT-vs-HEFT paired comparison sees an identical grid no matter which
+//! thread, shard, or process evaluates the case.
 
 use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft};
 use aheft_core::DynamicHeuristic;
@@ -79,6 +90,17 @@ impl Case {
             None => PoolDynamics::fixed(self.resources),
         }
     }
+
+    /// Generate the grid this case describes: the workflow, its sampled
+    /// cost table, and the simulator seed — each from its own sub-stream
+    /// of the master seed (see [`case_streams`]).
+    pub fn materialize(&self) -> (GeneratedWorkflow, aheft_workflow::CostTable, u64) {
+        let (dag_seed, cost_seed, sim_seed) = case_streams(self.seed);
+        let mut rng = StdRng::seed_from_u64(dag_seed);
+        let wf = self.workload.generate(&mut rng);
+        let costs = wf.sample_table_seeded(self.resources, cost_seed);
+        (wf, costs, sim_seed)
+    }
 }
 
 /// Makespans of the three strategies on one case (same grid for all).
@@ -103,18 +125,23 @@ impl CaseResult {
     }
 }
 
+/// The decorrelated RNG streams of one case, all derived from the master
+/// seed: `(dag, costs, sim)`. See the module docs ("Seed streams").
+pub fn case_streams(seed: u64) -> (u64, u64, u64) {
+    // Fixed stream tags; any distinct constants work, mix_seed decorrelates.
+    (mix_seed(seed, 0xDA6), mix_seed(seed, 0xC057), mix_seed(seed, 0x51A1))
+}
+
 /// Execute one case. `with_minmin` also runs the dynamic baseline (it can
 /// be an order of magnitude slower on data-intensive cases, exactly as the
 /// paper reports, so tables that do not need it skip it).
 pub fn run_case(case: &Case, with_minmin: bool) -> CaseResult {
-    let mut rng = StdRng::seed_from_u64(case.seed);
-    let wf = case.workload.generate(&mut rng);
-    let costs = wf.sample_table(case.resources, &mut rng);
+    let (wf, costs, sim_seed) = case.materialize();
     let dynamics = case.dynamics();
-    let heft = run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, case.seed);
-    let aheft = run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, case.seed);
+    let heft = run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed);
+    let aheft = run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed);
     let minmin = with_minmin.then(|| {
-        run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, case.seed, DynamicHeuristic::MinMin)
+        run_dynamic(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, DynamicHeuristic::MinMin)
             .makespan
     });
     CaseResult {

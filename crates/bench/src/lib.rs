@@ -20,8 +20,20 @@
 //! application campaign; [`scale::Scale`] selects a stratified subsample
 //! (`smoke` for CI, `default` for minutes-scale runs, `full` for the
 //! complete grid). Every table prints the case count it used.
+//!
+//! Sweeps execute through the sharded parallel driver in [`sweep`]: each
+//! artifact expands into row groups of independent [`harness::Case`]
+//! descriptors with coordinate-derived seeds, fanned out over
+//! `aheft_parcomp` worker threads (`--threads N`) and optionally split
+//! across processes (`--shard i/m`) — results are bit-identical at any
+//! parallelism (see `tests/sweep_determinism.rs` and
+//! `docs/REPRODUCING.md`).
 
+#![warn(missing_docs)]
+
+pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod scale;
+pub mod sweep;
 pub mod tables;

@@ -1,0 +1,215 @@
+//! Sharded parallel sweep driver.
+//!
+//! Every paper artifact expands into an ordered list of **row groups** —
+//! one group per output row (or per row family, for artifacts whose rows
+//! aggregate several sub-series). Each group carries the flat list of
+//! independent case descriptors whose results reduce into that row's
+//! aggregates. [`run_sharded`] flattens all owned groups into one case
+//! list and fans it out over [`aheft_parcomp::par_map_chunked`], so
+//! parallelism spans the whole artifact (no per-row barriers) and slow
+//! cases load-balance against cheap ones.
+//!
+//! Two properties make the sweep reproducible at any parallelism:
+//!
+//! 1. **Coordinate-derived seeds.** A case's RNG stream is derived from
+//!    its grid coordinates ([`crate::harness::mix_seed`]), never from
+//!    execution order, so the paired AHEFT-vs-HEFT comparison sees the
+//!    same grid no matter which thread (or process) runs it.
+//! 2. **Ordered reduction.** Results come back in case order and each
+//!    row reduces over exactly its own group's slice, so the aggregates
+//!    are bit-identical to a sequential run — `tests/sweep_determinism.rs`
+//!    pins this for `--threads 1` vs `--threads 4` vs a 2-way shard split.
+//!
+//! Sharding ([`Shard`]) partitions *groups* round-robin across `count`
+//! independent processes: shard `i/m` computes the rows whose group index
+//! `≡ i (mod m)` and emits only those rows. Because a whole row lives in
+//! exactly one shard, interleaving the shards' CSV rows round-robin
+//! (row `j` of the table comes from shard `j mod m`) reproduces the
+//! unsharded output byte for byte.
+
+use aheft_parcomp::par_map_chunked;
+
+/// Which slice of an artifact's row groups this process computes.
+///
+/// `Shard { index: 0, count: 1 }` (the [`Shard::full`] default) owns every
+/// group. A split like `--shard 1/4` owns groups `1, 5, 9, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard number, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the sweep is split into.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The unsharded sweep: one process owns every row group.
+    pub fn full() -> Shard {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Parse a CLI `i/m` spec (e.g. `"0/4"`). Requires `m >= 1` and
+    /// `i < m`.
+    ///
+    /// ```
+    /// use aheft_bench::sweep::Shard;
+    /// assert_eq!(Shard::parse("1/4"), Some(Shard { index: 1, count: 4 }));
+    /// assert_eq!(Shard::parse("4/4"), None); // index out of range
+    /// assert_eq!(Shard::parse("banana"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (i, m) = s.split_once('/')?;
+        let index: usize = i.trim().parse().ok()?;
+        let count: usize = m.trim().parse().ok()?;
+        (count >= 1 && index < count).then_some(Shard { index, count })
+    }
+
+    /// Does this shard own row group `group_index`?
+    pub fn owns(&self, group_index: usize) -> bool {
+        group_index % self.count == self.index
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::full()
+    }
+}
+
+/// How a sweep executes: worker-thread count, shard membership, and
+/// whether to stream progress to stderr.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads for the flat case list (1 = sequential).
+    pub threads: usize,
+    /// Which row groups this process computes.
+    pub shard: Shard,
+    /// Print `done/total` case counts to stderr while sweeping.
+    pub progress: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: aheft_parcomp::default_threads(),
+            shard: Shard::full(),
+            progress: false,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A sequential, unsharded, quiet sweep — what library callers (tests,
+    /// benches) usually want.
+    pub fn sequential() -> SweepConfig {
+        SweepConfig { threads: 1, shard: Shard::full(), progress: false }
+    }
+
+    /// A sweep on `threads` workers, unsharded and quiet.
+    pub fn with_threads(threads: usize) -> SweepConfig {
+        SweepConfig { threads: threads.max(1), ..SweepConfig::sequential() }
+    }
+}
+
+/// Chunk size for the work queue: small enough that an expensive group
+/// tail (Min-Min on data-intensive cases runs ~10x longer than HEFT)
+/// still load-balances, large enough to amortize the atomic claim.
+fn chunk_for(cases: usize, threads: usize) -> usize {
+    (cases / (threads.max(1) * 16)).clamp(1, 16)
+}
+
+/// Run every case of the shard-owned `groups` as one flat parallel sweep
+/// and return `(group_index, results)` per owned group, in group order.
+///
+/// `eval` must be a pure function of the case descriptor (all randomness
+/// derived from the case's own seed); under that contract the returned
+/// results are identical for any `threads` value, and a group's results
+/// are identical whether or not other groups run in the same process.
+pub fn run_sharded<T, R, F>(groups: &[Vec<T>], cfg: &SweepConfig, eval: F) -> Vec<(usize, Vec<R>)>
+where
+    T: Sync + Clone,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let owned: Vec<usize> =
+        (0..groups.len()).filter(|&gi| cfg.shard.owns(gi) && !groups[gi].is_empty()).collect();
+    let flat: Vec<T> = owned.iter().flat_map(|&gi| groups[gi].iter().cloned()).collect();
+
+    let total = flat.len();
+    let print_progress = |done: usize, total: usize| {
+        // Carriage-return progress line; resolution of ~1% keeps stderr
+        // quiet on big sweeps (one chunk may skip several percent).
+        let step = (total / 100).max(1);
+        if done.is_multiple_of(step) || done == total {
+            eprint!("\r  [{done}/{total} cases]");
+            if done == total {
+                eprintln!();
+            }
+        }
+    };
+    let progress: Option<&aheft_parcomp::ProgressFn> =
+        if cfg.progress && total > 0 { Some(&print_progress) } else { None };
+
+    let results =
+        par_map_chunked(&flat, cfg.threads, chunk_for(total, cfg.threads), progress, eval);
+
+    let mut out = Vec::with_capacity(owned.len());
+    let mut it = results.into_iter();
+    for &gi in &owned {
+        out.push((gi, it.by_ref().take(groups[gi].len()).collect()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parse_accepts_valid_and_rejects_invalid() {
+        assert_eq!(Shard::parse("0/1"), Some(Shard::full()));
+        assert_eq!(Shard::parse("3/8"), Some(Shard { index: 3, count: 8 }));
+        for bad in ["", "1", "1/", "/2", "2/2", "5/3", "a/b", "1/0", "-1/2"] {
+            assert_eq!(Shard::parse(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn shard_round_robin_partitions_groups() {
+        let a = Shard { index: 0, count: 2 };
+        let b = Shard { index: 1, count: 2 };
+        for gi in 0..10 {
+            assert_ne!(a.owns(gi), b.owns(gi), "exactly one shard owns group {gi}");
+        }
+    }
+
+    #[test]
+    fn run_sharded_preserves_group_structure() {
+        let groups: Vec<Vec<u64>> = vec![vec![1, 2], vec![], vec![3], vec![4, 5, 6]];
+        let cfg = SweepConfig::with_threads(4);
+        let out = run_sharded(&groups, &cfg, |x| x * 10);
+        assert_eq!(out, vec![(0, vec![10, 20]), (2, vec![30]), (3, vec![40, 50, 60])]);
+    }
+
+    #[test]
+    fn run_sharded_shards_cover_exactly_the_full_run() {
+        let groups: Vec<Vec<u64>> = (0..7).map(|g| (0..=g).collect()).collect();
+        let full = run_sharded(&groups, &SweepConfig::sequential(), |x| x + 1);
+        for count in [2, 3] {
+            let mut merged: Vec<(usize, Vec<u64>)> = Vec::new();
+            for index in 0..count {
+                let cfg =
+                    SweepConfig { shard: Shard { index, count }, ..SweepConfig::sequential() };
+                merged.extend(run_sharded(&groups, &cfg, |x| x + 1));
+            }
+            merged.sort_by_key(|(gi, _)| *gi);
+            assert_eq!(merged, full, "{count}-way shard union != full run");
+        }
+    }
+
+    #[test]
+    fn chunk_adapts_to_sweep_size() {
+        assert_eq!(chunk_for(10, 8), 1);
+        assert_eq!(chunk_for(4096, 8), 16);
+        assert!(chunk_for(500, 4) >= 1);
+    }
+}

@@ -2,7 +2,7 @@
 //! full-plan-ahead baseline the paper improves on.
 //!
 //! As the paper observes at the end of §3.4, *"AHEFT is identical to HEFT
-//! when clock = 0 [and] it is the initial scheduling"* — so HEFT here is
+//! when clock = 0 \[and\] it is the initial scheduling"* — so HEFT here is
 //! literally [`crate::aheft::aheft_reschedule`] applied to the initial
 //! (empty) execution snapshot. This guarantees the two strategies differ
 //! only in adaptivity, never in heuristic details, which is what makes the

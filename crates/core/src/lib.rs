@@ -20,6 +20,8 @@
 //!   makespan when a resource is added/removed),
 //! * [`metrics`] — makespan, SLR, speedup, improvement rate, utilization.
 
+#![warn(missing_docs)]
+
 pub mod aheft;
 pub mod heft;
 pub mod metrics;

@@ -14,7 +14,8 @@
 //!
 //! Total jobs `v = 2N + 2`. The DAG is well balanced with one wide section —
 //! the shape for which the paper reports the largest AHEFT gains (20.4%).
-//! There are only four unique operations; jobs of the same [`OpClass`] share
+//! There are only four unique operations; jobs of the same
+//! [`OpClass`](crate::graph::OpClass) share
 //! their nominal computation cost (paper §4.3 observation 2).
 
 use rand::Rng;

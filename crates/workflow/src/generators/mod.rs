@@ -50,6 +50,19 @@ impl GeneratedWorkflow {
             .sample_table(&self.dag, resources, rng)
             .expect("generator produces consistent dimensions")
     }
+
+    /// Sample a [`crate::CostTable`] from its own dedicated seed.
+    ///
+    /// The sweep harness derives this seed from the case coordinates (see
+    /// `aheft_bench::harness::case_streams`), so the sampled costs do not
+    /// depend on how many RNG draws DAG generation consumed — the cost
+    /// stream stays aligned across generator revisions and across
+    /// threads/shards of a parallel sweep.
+    pub fn sample_table_seeded(&self, resources: usize, seed: u64) -> crate::CostTable {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.sample_table(resources, &mut rng)
+    }
 }
 
 /// Rescale the edge volumes of a DAG-under-construction so that the measured

@@ -34,6 +34,8 @@
 //! assert!(aheft.makespan <= heft.makespan + 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use aheft_core as core;
 pub use aheft_gridsim as gridsim;
 pub use aheft_parcomp as parcomp;

@@ -1,0 +1,130 @@
+//! Determinism gate for the sharded parallel sweep driver.
+//!
+//! The paper's paired methodology (AHEFT and HEFT judged on *identical*
+//! grids) only survives parallel execution if case seeds are functions of
+//! the grid coordinates, never of execution order. This suite pins the
+//! contract end to end: a smoke-scale sweep must produce **byte-identical
+//! CSV rows** at `--threads 1`, `--threads 4`, and under a 2-way
+//! `--shard` split — so `experiments --scale full all --threads 64` (or a
+//! multi-process CI shard matrix) is bit-for-bit the sequential run.
+
+use aheft_bench::experiments;
+use aheft_bench::scale::Scale;
+use aheft_bench::sweep::{Shard, SweepConfig};
+use aheft_bench::tables::TextTable;
+
+fn threads(n: usize) -> SweepConfig {
+    SweepConfig::with_threads(n)
+}
+
+fn shard(index: usize, count: usize) -> SweepConfig {
+    SweepConfig { shard: Shard { index, count }, ..SweepConfig::sequential() }
+}
+
+/// The byte content of the table's CSV rows (what `write_csv` emits,
+/// minus the header line). Each call gets its own directory: the tests in
+/// this file run concurrently inside one process.
+fn csv_rows(t: &TextTable) -> Vec<String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "aheft_sweep_det_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    t.write_csv(&dir, "t").expect("csv write");
+    let text = std::fs::read_to_string(dir.join("t.csv")).expect("csv read");
+    let _ = std::fs::remove_dir_all(&dir);
+    text.lines().skip(1).map(str::to_string).collect()
+}
+
+/// Interleave the round-robin shards' rows back into full-table order.
+fn merge_shards(parts: &[Vec<String>]) -> Vec<String> {
+    let mut iters: Vec<_> = parts.iter().map(|p| p.iter()).collect();
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for gi in 0..total {
+        merged.push(iters[gi % parts.len()].next().expect("shard owns row").clone());
+    }
+    merged
+}
+
+#[test]
+fn table3_is_bit_identical_across_thread_counts() {
+    let t1 = experiments::table3(Scale::Smoke, &threads(1));
+    let t4 = experiments::table3(Scale::Smoke, &threads(4));
+    assert_eq!(csv_rows(&t1), csv_rows(&t4));
+    assert_eq!(t1.rows.len(), 5, "one row per CCR value");
+}
+
+#[test]
+fn table3_shard_split_reproduces_the_full_run() {
+    let full = csv_rows(&experiments::table3(Scale::Smoke, &threads(1)));
+    let s0 = csv_rows(&experiments::table3(Scale::Smoke, &shard(0, 2)));
+    let s1 = csv_rows(&experiments::table3(Scale::Smoke, &shard(1, 2)));
+    assert_eq!(s0.len() + s1.len(), full.len(), "shards partition the rows");
+    assert_eq!(merge_shards(&[s0, s1]), full, "2-way shard union != full run");
+}
+
+#[test]
+fn sharded_workers_may_also_be_parallel() {
+    // A shard is itself a parallel sweep: threads and sharding compose.
+    let full = csv_rows(&experiments::table4(Scale::Smoke, &threads(4)));
+    let s0 = csv_rows(&experiments::table4(
+        Scale::Smoke,
+        &SweepConfig { shard: Shard { index: 0, count: 2 }, ..SweepConfig::with_threads(4) },
+    ));
+    let s1 = csv_rows(&experiments::table4(
+        Scale::Smoke,
+        &SweepConfig { shard: Shard { index: 1, count: 2 }, ..SweepConfig::with_threads(2) },
+    ));
+    assert_eq!(merge_shards(&[s0, s1]), full);
+}
+
+#[test]
+fn two_series_rows_are_thread_and_shard_invariant() {
+    // Table 8 rows aggregate two app series from one row group — the
+    // group-level shard boundary must keep both series of a row together.
+    let t1 = experiments::table8(Scale::Smoke, &threads(1));
+    let t4 = experiments::table8(Scale::Smoke, &threads(4));
+    assert_eq!(csv_rows(&t1), csv_rows(&t4));
+    let s0 = csv_rows(&experiments::table8(Scale::Smoke, &shard(0, 2)));
+    let s1 = csv_rows(&experiments::table8(Scale::Smoke, &shard(1, 2)));
+    assert_eq!(merge_shards(&[s0, s1]), csv_rows(&t1));
+}
+
+#[test]
+fn headline_aggregates_are_thread_invariant() {
+    // The headline is a single row group whose three rows aggregate the
+    // whole campaign — the strictest reduction-order test.
+    let t1 = experiments::headline(Scale::Smoke, &threads(1));
+    let t4 = experiments::headline(Scale::Smoke, &threads(4));
+    assert_eq!(csv_rows(&t1), csv_rows(&t4));
+    assert_eq!(t1.rows.len(), 3);
+}
+
+#[test]
+fn fig8_rows_are_thread_invariant() {
+    let t1 = experiments::fig8(Scale::Smoke, 'd', &threads(1));
+    let t4 = experiments::fig8(Scale::Smoke, 'd', &threads(4));
+    assert_eq!(csv_rows(&t1), csv_rows(&t4));
+}
+
+#[test]
+fn ablations_are_thread_invariant_and_shardable() {
+    let seq: Vec<Vec<String>> =
+        experiments::ablations(Scale::Smoke, &threads(1)).iter().map(csv_rows).collect();
+    let par: Vec<Vec<String>> =
+        experiments::ablations(Scale::Smoke, &threads(4)).iter().map(csv_rows).collect();
+    assert_eq!(seq, par);
+    // Each ablation table shards its rows independently (row i of every
+    // table comes from shard i % m), so each table's sharded rows must
+    // interleave back to exactly the unsharded table.
+    let s0 = experiments::ablations(Scale::Smoke, &shard(0, 2));
+    let s1 = experiments::ablations(Scale::Smoke, &shard(1, 2));
+    assert_eq!(s0.len(), seq.len());
+    for (ti, full) in seq.iter().enumerate() {
+        let merged = merge_shards(&[csv_rows(&s0[ti]), csv_rows(&s1[ti])]);
+        assert_eq!(&merged, full, "ablation table {ti} shard union != full run");
+    }
+}
