@@ -1,0 +1,82 @@
+//! `RankEngine` delta paths against the from-scratch rank kernel at sweep
+//! scale (v=1000, R=100): what one planner evaluation pays for its ranks
+//! when the pool grew by one resource, when only jobs finished, and when
+//! the cache is cold.
+
+use aheft_workflow::generators::random::{generate, RandomDagParams};
+use aheft_workflow::rank::rank_upward_over_into;
+use aheft_workflow::rank_engine::RankEngine;
+use aheft_workflow::{CostTable, Dag, ResourceId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(jobs: usize, resources: usize) -> (Dag, CostTable, Vec<ResourceId>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(resources, &mut rng);
+    let alive: Vec<ResourceId> = (0..resources).map(ResourceId::from).collect();
+    (wf.dag, costs, alive)
+}
+
+fn bench_rank_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_engine_incremental");
+    let (jobs, resources) = (1000usize, 100usize);
+    let (dag, costs, alive) = setup(jobs, resources);
+
+    // Baseline: the from-scratch kernel every evaluation pays without the
+    // engine (strided per-job averaging over the pool).
+    let mut buf = Vec::new();
+    group.bench_function("from_scratch_v1000_r100", |b| {
+        b.iter(|| {
+            rank_upward_over_into(black_box(&dag), black_box(&costs), black_box(&alive), &mut buf);
+            black_box(&buf);
+        })
+    });
+
+    // Cache hit: an evaluation triggered with an unchanged pool (the
+    // job-completion delta) — the engine's steady state.
+    let mut engine = RankEngine::new();
+    engine.update(&dag, &costs, &alive, |_| false);
+    group.bench_function("cache_hit_v1000_r100", |b| {
+        b.iter(|| black_box(engine.update(&dag, &costs, &alive, |_| false)))
+    });
+
+    // Pool-growth delta: one joined resource per evaluation. Each
+    // iteration extends the table and alive set, folds the new column in
+    // and re-sweeps — the O(jobs + edges) incremental path.
+    let mut grow_costs = costs.clone();
+    let mut grow_alive = alive.clone();
+    let mut grow_engine = RankEngine::new();
+    grow_engine.update(&dag, &grow_costs, &grow_alive, |_| false);
+    let column = vec![50.0; jobs];
+    group.bench_function("append_one_resource_v1000_r100", |b| {
+        b.iter(|| {
+            let id = grow_costs.add_resource(&column).expect("column matches");
+            grow_alive.push(id);
+            black_box(grow_engine.update(&dag, &grow_costs, &grow_alive, |_| false))
+        })
+    });
+
+    // Full rebuild (arbitrary pool change, e.g. a departure): column-wise
+    // streaming accumulation plus a forced sweep.
+    let mut rebuild_engine = RankEngine::new();
+    let without_last: Vec<ResourceId> = alive[..resources - 1].to_vec();
+    group.bench_function("rebuild_after_departure_v1000_r100", |b| {
+        b.iter(|| {
+            rebuild_engine.invalidate();
+            black_box(rebuild_engine.update(&dag, &costs, &without_last, |_| false))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rank_engine
+}
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--scale smoke|default|full] [--csv DIR]
 //!             [--threads N] [--shard i/m] [--quiet] <artifact>...
+//! experiments merge --out DIR SHARD_DIR...
 //! artifacts: fig5 headline table3 table4 table6 table7 table8
 //!            fig8a..fig8f ablations all
 //! ```
@@ -30,6 +31,20 @@ fn main() {
     };
     if args.help {
         println!("{}", usage());
+        return;
+    }
+    if let Some(merge) = &args.merge {
+        match aheft_bench::merge::merge_shard_dirs(&merge.out, &merge.inputs) {
+            Ok(tables) => {
+                for t in &tables {
+                    println!("merged {} ({} rows)", t.name, t.rows);
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     let scale = args.scale;

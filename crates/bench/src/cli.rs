@@ -37,8 +37,19 @@ pub struct Args {
     pub sweep: SweepConfig,
     /// Validated artifact names, `all` already expanded, in run order.
     pub artifacts: Vec<String>,
+    /// `merge` subcommand arguments, when the first positional was `merge`.
+    pub merge: Option<MergeArgs>,
     /// `--help` was requested; print [`usage`] and exit 0.
     pub help: bool,
+}
+
+/// Arguments of `experiments merge --out DIR SHARD_DIR...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeArgs {
+    /// Output directory for the stitched CSVs.
+    pub out: PathBuf,
+    /// Shard CSV directories, in shard-index order (`0/m` first).
+    pub inputs: Vec<PathBuf>,
 }
 
 /// The usage string printed by `--help` and on parse errors.
@@ -46,15 +57,43 @@ pub fn usage() -> String {
     format!(
         "usage: experiments [--scale smoke|default|full] [--csv DIR]\n\
         \x20                  [--threads N] [--shard i/m] [--quiet] <artifact>...\n\
+        \x20      experiments merge --out DIR SHARD_DIR...\n\
          artifacts: {} all\n\
          --threads N   worker threads for the case sweep (default: all cores)\n\
          --shard i/m   compute only table rows with index ≡ i (mod m) — split\n\
         \x20              one artifact across m independent processes; taking\n\
         \x20              row j of each table from shard j mod m rebuilds the\n\
         \x20              unsharded CSV byte for byte\n\
-         --quiet       suppress the live done/total case counter",
+         --quiet       suppress the live done/total case counter\n\
+         merge         stitch the --csv directories of a complete shard set\n\
+        \x20              (listed in shard order) back into one result set,\n\
+        \x20              byte-identical to an unsharded run",
         ARTIFACTS.join(" ")
     )
+}
+
+/// Parse `experiments merge` arguments (everything after the `merge`
+/// keyword): `--out DIR` plus two or more shard directories in shard
+/// order. `Ok(None)` means `--help` was requested.
+fn parse_merge_args(args: Vec<String>) -> Result<Option<MergeArgs>, String> {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(flag_value(&mut it, "--out")?)),
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown merge flag '{other}'"));
+            }
+            dir => inputs.push(PathBuf::from(dir)),
+        }
+    }
+    let out = out.ok_or("merge requires --out DIR")?;
+    if inputs.len() < 2 {
+        return Err("merge requires at least two shard directories".into());
+    }
+    Ok(Some(MergeArgs { out, inputs }))
 }
 
 fn flag_value(it: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, String> {
@@ -75,6 +114,17 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
     let mut csv_dir: Option<PathBuf> = None;
     let mut sweep = SweepConfig { progress: true, ..SweepConfig::default() };
     let mut artifacts: Vec<String> = Vec::new();
+    if args.first().map(String::as_str) == Some("merge") {
+        let merge = parse_merge_args(args.into_iter().skip(1).collect())?;
+        return Ok(Args {
+            scale,
+            csv_dir,
+            sweep,
+            artifacts: Vec::new(),
+            help: merge.is_none(),
+            merge,
+        });
+    }
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -102,7 +152,14 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
             }
             "--quiet" => sweep.progress = false,
             "--help" | "-h" => {
-                return Ok(Args { scale, csv_dir, sweep, artifacts: Vec::new(), help: true });
+                return Ok(Args {
+                    scale,
+                    csv_dir,
+                    sweep,
+                    artifacts: Vec::new(),
+                    merge: None,
+                    help: true,
+                });
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag '{other}'"));
@@ -119,7 +176,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
     if let Some(bad) = artifacts.iter().find(|a| !ARTIFACTS.contains(&a.as_str())) {
         return Err(format!("unknown artifact '{bad}'"));
     }
-    Ok(Args { scale, csv_dir, sweep, artifacts, help: false })
+    Ok(Args { scale, csv_dir, sweep, artifacts, merge: None, help: false })
 }
 
 #[cfg(test)]
@@ -191,5 +248,44 @@ mod tests {
         let a = parse(&["--help", "bogus-not-validated"]).unwrap();
         assert!(a.help);
         assert!(usage().contains("--shard"));
+        assert!(usage().contains("merge"));
+    }
+
+    #[test]
+    fn merge_subcommand_parses_out_and_inputs_in_order() {
+        let a = parse(&["merge", "--out", "full", "s0", "s1", "s2"]).unwrap();
+        let m = a.merge.expect("merge subcommand");
+        assert_eq!(m.out, PathBuf::from("full"));
+        assert_eq!(m.inputs, vec![PathBuf::from("s0"), PathBuf::from("s1"), PathBuf::from("s2")]);
+        assert!(!a.help);
+        assert!(a.artifacts.is_empty());
+        // --out may come after the inputs too.
+        let b = parse(&["merge", "s0", "s1", "--out", "full"]).unwrap();
+        assert_eq!(b.merge.unwrap().inputs.len(), 2);
+    }
+
+    #[test]
+    fn merge_requires_out_and_two_inputs() {
+        let err = parse(&["merge", "s0", "s1"]).expect_err("missing --out");
+        assert!(err.contains("--out"), "{err}");
+        let err = parse(&["merge", "--out", "full", "s0"]).expect_err("one shard dir");
+        assert!(err.contains("two"), "{err}");
+        let err = parse(&["merge", "--out"]).expect_err("missing value");
+        assert!(err.contains("--out"), "{err}");
+        let err = parse(&["merge", "--frobnicate", "s0", "s1"]).expect_err("unknown flag");
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn merge_help_short_circuits() {
+        let a = parse(&["merge", "--help"]).unwrap();
+        assert!(a.help);
+        assert!(a.merge.is_none());
+    }
+
+    #[test]
+    fn merge_is_only_a_subcommand_in_first_position() {
+        // "merge" after an artifact is an unknown artifact, not a command.
+        assert!(parse(&["table3", "merge"]).is_err());
     }
 }

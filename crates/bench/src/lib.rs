@@ -34,6 +34,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod merge;
 pub mod scale;
 pub mod sweep;
 pub mod tables;

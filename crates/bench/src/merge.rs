@@ -1,0 +1,246 @@
+//! Stitch sharded sweep output back together.
+//!
+//! `experiments --shard i/m --csv DIR_i <artifact>` writes only the table
+//! rows owned by shard `i` (row groups are assigned round-robin: the
+//! table's row `j` lives in shard `j mod m`). `merge_shard_dirs` reverses
+//! that split: given the `m` shard directories **in shard order**, it
+//! interleaves each table's data rows round-robin and writes CSVs that are
+//! byte-identical to an unsharded `--csv` run — the merge tool the PR 3
+//! sharding work left open.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What a merge did, per table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedTable {
+    /// CSV file name (e.g. `table3.csv`).
+    pub name: String,
+    /// Total data rows written (headers excluded).
+    pub rows: usize,
+}
+
+fn read_csv_lines(path: &Path) -> Result<Vec<String>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(text.lines().map(|l| l.to_string()).collect())
+}
+
+/// List a shard directory's CSV table names, sorted.
+fn csv_names(dir: &Path) -> Result<Vec<String>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".csv") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Merge the CSV tables of `inputs` (one directory per shard, ordered by
+/// shard index) into `out`. Every shard must hold exactly the same table
+/// set with identical header rows; data rows are interleaved round-robin
+/// (row `j` of the merged table comes from shard `j mod m`), restoring
+/// the unsharded output byte for byte.
+///
+/// Fails — without writing anything for the offending table — when a
+/// directory is listed twice, the directories disagree on the table set
+/// or headers, or the per-shard row counts cannot come from one
+/// round-robin split.
+pub fn merge_shard_dirs(out: &Path, inputs: &[PathBuf]) -> Result<Vec<MergedTable>, String> {
+    if inputs.len() < 2 {
+        return Err("merge needs at least two shard directories".into());
+    }
+    // The same directory listed twice passes every row-count check (a
+    // duplicated shard's counts mimic a legal split) but interleaves its
+    // rows with themselves — catch it by resolved path.
+    let mut resolved: Vec<PathBuf> = Vec::with_capacity(inputs.len());
+    for dir in inputs {
+        let canon =
+            fs::canonicalize(dir).map_err(|e| format!("cannot resolve {}: {e}", dir.display()))?;
+        if let Some(dup) = resolved.iter().position(|p| *p == canon) {
+            return Err(format!(
+                "{} is listed twice (positions {dup} and {}) — each shard directory \
+                 must appear exactly once",
+                dir.display(),
+                resolved.len()
+            ));
+        }
+        resolved.push(canon);
+    }
+    // Every shard of one run holds the same tables; a missing *or* extra
+    // table means the directories came from different artifact lists.
+    let names = csv_names(&inputs[0])?;
+    if names.is_empty() {
+        return Err(format!("no .csv files in {}", inputs[0].display()));
+    }
+    for dir in &inputs[1..] {
+        let theirs = csv_names(dir)?;
+        if theirs != names {
+            return Err(format!(
+                "{} holds tables [{}] but {} holds [{}] — not shards of the same run",
+                dir.display(),
+                theirs.join(", "),
+                inputs[0].display(),
+                names.join(", ")
+            ));
+        }
+    }
+
+    let m = inputs.len();
+    let mut merged = Vec::with_capacity(names.len());
+    for name in &names {
+        // Load every shard's copy; header must agree everywhere.
+        let mut shards: Vec<Vec<String>> = Vec::with_capacity(m);
+        for dir in inputs {
+            let lines = read_csv_lines(&dir.join(name))?;
+            if lines.is_empty() {
+                return Err(format!("{}/{name} is empty (no header)", dir.display()));
+            }
+            if let Some(first) = shards.first() {
+                if lines[0] != first[0] {
+                    return Err(format!(
+                        "{name}: header of {} differs from {} — not shards of the same run",
+                        dir.display(),
+                        inputs[0].display()
+                    ));
+                }
+            }
+            shards.push(lines);
+        }
+        let header = shards[0][0].clone();
+        let counts: Vec<usize> = shards.iter().map(|s| s.len() - 1).collect();
+        let total: usize = counts.iter().sum();
+        // A valid round-robin split of `total` rows gives shard i
+        // ceil((total - i) / m) rows; anything else means the directories
+        // are not complementary shards of one table.
+        for (i, &have) in counts.iter().enumerate() {
+            let expect = (total + m - 1 - i) / m;
+            if have != expect {
+                return Err(format!(
+                    "{name}: shard {i} has {have} rows but a {m}-way split of {total} \
+                     rows owns {expect} — directories are not a complete shard set"
+                ));
+            }
+        }
+        let mut rows = Vec::with_capacity(total + 1);
+        rows.push(header);
+        let mut next: Vec<usize> = vec![1; m]; // per-shard cursor past the header
+        for j in 0..total {
+            let s = j % m;
+            rows.push(shards[s][next[s]].clone());
+            next[s] += 1;
+        }
+        fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+        let mut text = rows.join("\n");
+        text.push('\n');
+        fs::write(out.join(name), text)
+            .map_err(|e| format!("cannot write {}/{name}: {e}", out.display()))?;
+        merged.push(MergedTable { name: name.clone(), rows: total });
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, name: &str, lines: &[&str]) {
+        fs::create_dir_all(dir).unwrap();
+        let mut text = lines.join("\n");
+        text.push('\n');
+        fs::write(dir.join(name), text).unwrap();
+    }
+
+    fn tmp(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aheft_merge_{label}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_robin_interleave_restores_row_order() {
+        let root = tmp("ok");
+        let (s0, s1, out) = (root.join("s0"), root.join("s1"), root.join("out"));
+        // 5 rows split 2 ways: shard 0 owns rows 0,2,4; shard 1 owns 1,3.
+        write(&s0, "t.csv", &["h1,h2", "r0,a", "r2,c", "r4,e"]);
+        write(&s1, "t.csv", &["h1,h2", "r1,b", "r3,d"]);
+        let merged = merge_shard_dirs(&out, &[s0, s1]).unwrap();
+        assert_eq!(merged, vec![MergedTable { name: "t.csv".into(), rows: 5 }]);
+        let text = fs::read_to_string(out.join("t.csv")).unwrap();
+        assert_eq!(text, "h1,h2\nr0,a\nr1,b\nr2,c\nr3,d\nr4,e\n");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let root = tmp("hdr");
+        let (s0, s1) = (root.join("s0"), root.join("s1"));
+        write(&s0, "t.csv", &["h1,h2", "r0"]);
+        write(&s1, "t.csv", &["x1,x2", "r1"]);
+        let err = merge_shard_dirs(&root.join("out"), &[s0, s1]).unwrap_err();
+        assert!(err.contains("header"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn inconsistent_row_counts_are_rejected() {
+        let root = tmp("cnt");
+        let (s0, s1) = (root.join("s0"), root.join("s1"));
+        // Shard 1 claims 3 rows while shard 0 has 1: no 2-way round-robin
+        // split of 4 rows looks like that.
+        write(&s0, "t.csv", &["h", "r0"]);
+        write(&s1, "t.csv", &["h", "r1", "r3", "r5"]);
+        let err = merge_shard_dirs(&root.join("out"), &[s0, s1]).unwrap_err();
+        assert!(err.contains("shard"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicated_shard_directory_is_rejected() {
+        // A duplicated shard has row counts that mimic a legal split, so
+        // it must be caught by path, not by count.
+        let root = tmp("dup");
+        let s0 = root.join("s0");
+        write(&s0, "t.csv", &["h", "r0", "r2"]);
+        let err = merge_shard_dirs(&root.join("out"), &[s0.clone(), s0.clone()]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn extra_table_in_a_later_shard_is_rejected() {
+        // Shards produced with different artifact lists must not merge:
+        // the extra table would silently vanish.
+        let root = tmp("extra");
+        let (s0, s1) = (root.join("s0"), root.join("s1"));
+        write(&s0, "t.csv", &["h", "r0"]);
+        write(&s1, "t.csv", &["h", "r1"]);
+        write(&s1, "extra.csv", &["h", "x"]);
+        let err = merge_shard_dirs(&root.join("out"), &[s0, s1]).unwrap_err();
+        assert!(err.contains("extra.csv"), "{err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_table_in_one_shard_is_rejected() {
+        let root = tmp("missing");
+        let (s0, s1) = (root.join("s0"), root.join("s1"));
+        write(&s0, "t.csv", &["h", "r0"]);
+        fs::create_dir_all(&s1).unwrap();
+        assert!(merge_shard_dirs(&root.join("out"), &[s0, s1]).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn single_directory_is_rejected() {
+        let root = tmp("single");
+        write(&root.join("s0"), "t.csv", &["h", "r0"]);
+        assert!(merge_shard_dirs(&root.join("out"), &[root.join("s0")]).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -44,7 +44,8 @@
 use aheft_gridsim::executor::{JobState, Snapshot, SnapshotView};
 use aheft_gridsim::plan::{Assignment, Plan};
 use aheft_gridsim::reservation::{SlotPolicy, SlotTable};
-use aheft_workflow::rank::{priority_order_from_ranks_into, rank_upward_over_into};
+use aheft_workflow::rank::priority_order_from_ranks_into;
+use aheft_workflow::rank_engine::RankEngine;
 use aheft_workflow::{CostTable, Dag, EdgeId, JobId, ResourceId};
 use serde::{Deserialize, Serialize};
 
@@ -105,10 +106,16 @@ enum PredFea {
 /// grown to the problem size.
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleWorkspace {
-    /// `rank_u` per job against the current pool.
-    ranks: Vec<f64>,
+    /// Incrementally maintained `rank_u` against the current pool: pool
+    /// deltas are applied in `O(jobs + edges)` instead of a from-scratch
+    /// `O(jobs · R)` recomputation, and evaluations with an unchanged pool
+    /// (job-completion deltas) are pure cache hits.
+    rank_engine: RankEngine,
     /// Jobs in non-increasing rank order.
     order: Vec<JobId>,
+    /// [`RankEngine::epoch`] that `order` was sorted for; when the epoch
+    /// is unchanged the ranks are bit-identical, so the sort is skipped.
+    order_epoch: Option<u64>,
     /// Per-resource reservation timelines (cleared, not reallocated).
     tables: Vec<SlotTable>,
     /// Earliest availability floor per resource (∞ for dead resources).
@@ -120,6 +127,19 @@ pub struct ScheduleWorkspace {
     /// Per-job FEA classification scratch (Eq. 1, hoisted out of the
     /// resource loop).
     pred_fea: Vec<PredFea>,
+    /// Per-resource earliest data-ready time of the current job (the inner
+    /// max of Eq. 2), built from per-group aggregates instead of
+    /// re-deriving every predecessor's case per resource.
+    ready: Vec<f64>,
+    /// Per-resource max of the *exceptional* finished-predecessor values
+    /// (producer AFT on its home, committed transfer arrivals);
+    /// `NEG_INFINITY` = no exception. Reset via `exc_touched`.
+    exc_val: Vec<f64>,
+    /// Indices of `exc_val` touched for the current job.
+    exc_touched: Vec<u32>,
+    /// Finished predecessors of the current job (indices into `pred_fea`),
+    /// sorted by non-increasing retransmission arrival.
+    fin_sorted: Vec<u32>,
     /// Assignments of the most recent pass, in placement (rank) order.
     assignments: Vec<Assignment>,
 }
@@ -235,9 +255,14 @@ pub fn aheft_schedule_into(
     }
 
     // Paper Fig. 3, lines 2-3: upward ranks against the current pool, jobs
-    // sorted by non-increasing rank (a topological order).
-    rank_upward_over_into(dag, costs, alive, &mut ws.ranks);
-    priority_order_from_ranks_into(dag, &ws.ranks, &mut ws.order);
+    // sorted by non-increasing rank (a topological order). The engine
+    // applies pool deltas incrementally and prunes finished jobs; when no
+    // rank changed (epoch stable) the previous sort is still exact.
+    let epoch = ws.rank_engine.update(dag, costs, alive, |j| view.is_finished(j));
+    if ws.order_epoch != Some(epoch) {
+        priority_order_from_ranks_into(dag, ws.rank_engine.ranks(), &mut ws.order);
+        ws.order_epoch = Some(epoch);
+    }
 
     if ws.tables.len() < total_resources {
         ws.tables.resize_with(total_resources, SlotTable::new);
@@ -245,6 +270,15 @@ pub fn aheft_schedule_into(
     for t in &mut ws.tables[..total_resources] {
         t.clear();
     }
+    if ws.exc_val.len() < total_resources {
+        ws.exc_val.resize(total_resources, f64::NEG_INFINITY);
+    }
+    // Invariant: every touched overlay entry is reset after each job; the
+    // drain here only matters if a previous pass unwound mid-job.
+    for &i in &ws.exc_touched {
+        ws.exc_val[i as usize] = f64::NEG_INFINITY;
+    }
+    ws.exc_touched.clear();
     ws.assignments.clear();
 
     for oi in 0..ws.order.len() {
@@ -270,38 +304,140 @@ pub fn aheft_schedule_into(
                 }
             });
         }
-        let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
-        for &r in alive {
-            let w = costs.comp(job, r);
-            // Inner max of Eq. 2: all input files present on r.
-            let mut ready = clock;
+        // Inner max of Eq. 2, computed as one dense streaming pass per
+        // predecessor over the alive set (a predecessor's case was already
+        // classified; its per-resource value differs from a single base
+        // only at exceptional resources — the producer's home and the
+        // committed transfer destinations — so each edge's transfer ledger
+        // is walked once per job instead of probed per resource). Folding
+        // per predecessor in classification order with the same strict `>`
+        // keeps every `ready` value bit-identical to the per-resource
+        // rederivation.
+        ws.ready.clear();
+        ws.ready.resize(total_resources, clock);
+        // Case 3 / otherwise (pinned or (re)scheduled predecessors) in one
+        // closed-form group fold: such a predecessor contributes `t` on its
+        // own resource and `t + comm` elsewhere, and `t <= t + comm`, so
+        // the group's per-resource max is the largest `t + comm` (`top1`)
+        // everywhere except on `top1`'s own resource, where the runner-up
+        // `t + comm` competes with the local `t` terms. O(preds + R)
+        // instead of O(preds * R), and exactly the same max values.
+        let mut top1 = f64::NEG_INFINITY;
+        let mut top1_rp = ResourceId(u32::MAX);
+        for pf in &ws.pred_fea {
+            if let PredFea::Scheduled { r, t, comm } = *pf {
+                let v = t + comm;
+                if v > top1 {
+                    top1 = v;
+                    top1_rp = r;
+                }
+            }
+        }
+        if top1 > f64::NEG_INFINITY {
+            let mut local_at_top = f64::NEG_INFINITY; // max t of preds on top1_rp
+            let mut top2 = f64::NEG_INFINITY; // max t + comm of preds elsewhere
             for pf in &ws.pred_fea {
-                let t = match *pf {
-                    PredFea::Finished { home, aft, edge, retransmit } => {
-                        if home == r {
-                            // Case 1: the file is on r from the producer's AFT.
-                            aft
-                        } else {
-                            // Case 1 (committed transfer) or Case 2
-                            // (retransmission from `clock`).
-                            view.transfer_to(edge, r).unwrap_or(retransmit)
+                if let PredFea::Scheduled { r, t, comm } = *pf {
+                    if r == top1_rp {
+                        if t > local_at_top {
+                            local_at_top = t;
+                        }
+                    } else {
+                        let v = t + comm;
+                        if v > top2 {
+                            top2 = v;
                         }
                     }
-                    // Case 3 / otherwise: pinned or (re)scheduled predecessor.
-                    PredFea::Scheduled { r: rp, t, comm } => {
-                        if rp == r {
-                            t
-                        } else {
-                            t + comm
+                }
+            }
+            let special = local_at_top.max(top2);
+            for &r in alive {
+                let v = if r == top1_rp { special } else { top1 };
+                if v > ws.ready[r.idx()] {
+                    ws.ready[r.idx()] = v;
+                }
+            }
+        }
+        // Finished predecessors (Cases 1–2) as one group: predecessor `m`
+        // contributes its retransmission arrival `clock + c_m` everywhere
+        // except at its *exceptional* resources — the producer's home (AFT)
+        // and committed transfer destinations (ledger arrival). So per
+        // resource the group max is
+        //   max( largest retransmit among preds NOT excepting r,
+        //        largest exceptional value at r ).
+        // The second term accumulates in a dense max-overlay; the first is
+        // the globally largest retransmit, except where that predecessor
+        // itself excepts `r`, found by walking the preds in non-increasing
+        // retransmit order until one does not except `r` (depth ~1: a pred
+        // excepts only a couple of resources). O(F log F + exceptions + R)
+        // per job instead of O(F · R) ledger probes.
+        ws.fin_sorted.clear();
+        for (k, pf) in ws.pred_fea.iter().enumerate() {
+            if let PredFea::Finished { home, aft, edge, .. } = *pf {
+                ws.fin_sorted.push(k as u32);
+                let mut touch = |r: ResourceId, v: f64| {
+                    if let Some(slot) = ws.exc_val.get_mut(r.idx()) {
+                        if *slot == f64::NEG_INFINITY {
+                            ws.exc_touched.push(r.idx() as u32);
+                        }
+                        if v > *slot {
+                            *slot = v;
                         }
                     }
                 };
-                if t > ready {
-                    ready = t;
+                touch(home, aft);
+                for &(rt, arrival) in view.transfers_of(edge) {
+                    if rt != home {
+                        touch(rt, arrival);
+                    }
                 }
             }
+        }
+        if !ws.fin_sorted.is_empty() {
+            let pred_fea = &ws.pred_fea;
+            let fin_retransmit = |k: u32| match pred_fea[k as usize] {
+                PredFea::Finished { retransmit, .. } => retransmit,
+                PredFea::Scheduled { .. } => unreachable!("fin_sorted holds finished preds"),
+            };
+            ws.fin_sorted.sort_unstable_by(|&a, &b| {
+                fin_retransmit(b).partial_cmp(&fin_retransmit(a)).expect("times are finite")
+            });
+            let top = fin_retransmit(ws.fin_sorted[0]);
+            for &r in alive {
+                let exc = ws.exc_val[r.idx()];
+                let base = if exc == f64::NEG_INFINITY {
+                    top // no predecessor excepts r
+                } else {
+                    let mut base = f64::NEG_INFINITY;
+                    for &k in &ws.fin_sorted {
+                        let PredFea::Finished { home, edge, retransmit, .. } = pred_fea[k as usize]
+                        else {
+                            unreachable!("fin_sorted holds finished preds")
+                        };
+                        let excepts =
+                            home == r || view.transfers_of(edge).iter().any(|&(rt, _)| rt == r);
+                        if !excepts {
+                            base = retransmit;
+                            break;
+                        }
+                    }
+                    base
+                };
+                let v = base.max(exc);
+                if v > ws.ready[r.idx()] {
+                    ws.ready[r.idx()] = v;
+                }
+            }
+            for &i in &ws.exc_touched {
+                ws.exc_val[i as usize] = f64::NEG_INFINITY;
+            }
+            ws.exc_touched.clear();
+        }
+        let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
+        for &r in alive {
+            let w = costs.comp(job, r);
             let start = ws.tables[r.idx()].earliest_start(
-                ready.max(ws.floor[r.idx()]),
+                ws.ready[r.idx()].max(ws.floor[r.idx()]),
                 w,
                 config.slot_policy,
             );

@@ -400,6 +400,16 @@ impl<'a> SnapshotView<'a> {
         transfer_to(self.transfers, e, resource)
     }
 
+    /// All committed `(destination, arrival)` transfers of edge `e`, at
+    /// most one entry per destination ([`ExecState::record_transfer`] and
+    /// [`Snapshot::add_transfer`] both dedupe). Lets the scheduler walk an
+    /// edge's ledger once instead of probing [`SnapshotView::transfer_to`]
+    /// per resource.
+    #[inline]
+    pub fn transfers_of(&self, e: EdgeId) -> &'a [(ResourceId, f64)] {
+        self.transfers.get(e.idx()).map_or(&[], |v| v.as_slice())
+    }
+
     /// Earliest availability of edge `e`'s data (produced by `producer`) on
     /// `resource`: the producer's own `AFT` when it finished there, else the
     /// committed transfer arrival (possibly in the future), else `None`.

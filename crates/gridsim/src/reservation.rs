@@ -22,7 +22,9 @@ pub enum SlotPolicy {
     EndOfQueue,
 }
 
-/// One reserved interval on a resource.
+/// One reserved interval on a resource, as yielded by
+/// [`SlotTable::reservations`]. The table itself stores reservations in
+/// structure-of-arrays layout; this view type exists for callers and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Reservation {
     /// Reserved start time.
@@ -34,9 +36,22 @@ pub struct Reservation {
 }
 
 /// A single resource's reservation timeline, kept sorted by start time.
+///
+/// Stored as **structure-of-arrays** — parallel `starts`/`ends`/`jobs`
+/// vectors — so the insertion-policy gap scan of
+/// [`SlotTable::earliest_start`], the innermost loop of every scheduling
+/// pass, streams through two contiguous `f64` arrays instead of striding
+/// over 24-byte `Reservation` records. The job ids sit in their own array
+/// because the gap scan never looks at them.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SlotTable {
-    slots: Vec<Reservation>,
+    /// Reservation start times, ascending.
+    starts: Vec<f64>,
+    /// Reservation end times (`ends[k]` pairs with `starts[k]`; ascending
+    /// too, since reservations never overlap).
+    ends: Vec<f64>,
+    /// Holder of each reservation.
+    jobs: Vec<JobId>,
 }
 
 impl SlotTable {
@@ -45,16 +60,33 @@ impl SlotTable {
         Self::default()
     }
 
-    /// Drop every reservation but keep the allocation — the planner's
+    /// Drop every reservation but keep the allocations — the planner's
     /// per-resource scratch tables are cleared and refilled on every
     /// scheduling pass without reallocating.
     pub fn clear(&mut self) {
-        self.slots.clear();
+        self.starts.clear();
+        self.ends.clear();
+        self.jobs.clear();
     }
 
-    /// Current reservations in start-time order.
-    pub fn reservations(&self) -> &[Reservation] {
-        &self.slots
+    /// Current reservations in start-time order (materialized views over
+    /// the SoA storage).
+    pub fn reservations(&self) -> impl ExactSizeIterator<Item = Reservation> + '_ {
+        (0..self.starts.len()).map(|k| Reservation {
+            start: self.starts[k],
+            end: self.ends[k],
+            job: self.jobs[k],
+        })
+    }
+
+    /// Reservation start times in ascending order.
+    pub fn starts(&self) -> &[f64] {
+        &self.starts
+    }
+
+    /// Reservation end times, parallel to [`SlotTable::starts`].
+    pub fn ends(&self) -> &[f64] {
+        &self.ends
     }
 
     /// Earliest time at which a job of length `dur` can start, not earlier
@@ -64,14 +96,15 @@ impl SlotTable {
             SlotPolicy::EndOfQueue => est.max(self.avail()),
             SlotPolicy::Insertion => {
                 // Scan gaps: before the first slot, between consecutive
-                // slots, and after the last one.
+                // slots, and after the last one — one pass over the two
+                // contiguous f64 arrays.
                 let mut candidate = est;
-                for r in &self.slots {
-                    if candidate + dur <= r.start + 1e-9 {
-                        // Fits in the gap ending at r.start.
+                for (&start, &end) in self.starts.iter().zip(&self.ends) {
+                    if candidate + dur <= start + 1e-9 {
+                        // Fits in the gap ending at this slot's start.
                         return candidate;
                     }
-                    candidate = candidate.max(r.end);
+                    candidate = candidate.max(end);
                 }
                 candidate
             }
@@ -81,7 +114,7 @@ impl SlotTable {
     /// The earliest time after all current reservations (`avail[j]` of the
     /// paper's Eq. 2).
     pub fn avail(&self) -> f64 {
-        self.slots.last().map_or(0.0, |r| r.end)
+        self.ends.last().copied().unwrap_or(0.0)
     }
 
     /// Reserve `[start, start+dur)` for `job`.
@@ -92,42 +125,55 @@ impl SlotTable {
     /// [`SlotTable::earliest_start`].
     pub fn reserve(&mut self, start: f64, dur: f64, job: JobId) {
         let end = start + dur;
-        let pos = self.slots.partition_point(|r| r.start < start);
+        let pos = self.starts.partition_point(|&s| s < start);
         debug_assert!(
-            (pos == 0 || self.slots[pos - 1].end <= start + 1e-9)
-                && (pos == self.slots.len() || end <= self.slots[pos].start + 1e-9),
+            (pos == 0 || self.ends[pos - 1] <= start + 1e-9)
+                && (pos == self.starts.len() || end <= self.starts[pos] + 1e-9),
             "reservation [{start}, {end}) for {job} overlaps an existing slot"
         );
-        self.slots.insert(pos, Reservation { start, end, job });
+        self.starts.insert(pos, start);
+        self.ends.insert(pos, end);
+        self.jobs.insert(pos, job);
     }
 
     /// Revoke the reservation held by `job`, if any. Returns `true` when a
     /// reservation was removed.
     pub fn revoke(&mut self, job: JobId) -> bool {
-        let before = self.slots.len();
-        self.slots.retain(|r| r.job != job);
-        self.slots.len() != before
+        // A job holds at most one reservation per timeline in practice;
+        // the loop keeps the removal as total as the old retain-based one.
+        let mut removed = false;
+        while let Some(k) = self.jobs.iter().position(|&j| j == job) {
+            self.starts.remove(k);
+            self.ends.remove(k);
+            self.jobs.remove(k);
+            removed = true;
+        }
+        removed
     }
 
     /// Revoke every reservation starting at or after `t` (used when a
-    /// rescheduled plan replaces the tail of the old one).
+    /// rescheduled plan replaces the tail of the old one). Starts are
+    /// sorted, so the revoked set is exactly the tail of the arrays.
     pub fn revoke_from(&mut self, t: f64) {
-        self.slots.retain(|r| r.start < t);
+        let keep = self.starts.partition_point(|&s| s < t);
+        self.starts.truncate(keep);
+        self.ends.truncate(keep);
+        self.jobs.truncate(keep);
     }
 
     /// Total reserved time (for utilization metrics).
     pub fn busy_time(&self) -> f64 {
-        self.slots.iter().map(|r| r.end - r.start).sum()
+        self.starts.iter().zip(&self.ends).map(|(&s, &e)| e - s).sum()
     }
 
     /// Number of reservations.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.starts.len()
     }
 
     /// True when no reservations exist.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.starts.is_empty()
     }
 }
 
@@ -170,8 +216,10 @@ mod tests {
         t.reserve(10.0, 5.0, JobId(1));
         t.reserve(0.0, 4.0, JobId(0));
         t.reserve(4.0, 6.0, JobId(2));
-        let starts: Vec<f64> = t.reservations().iter().map(|r| r.start).collect();
+        let starts: Vec<f64> = t.reservations().map(|r| r.start).collect();
         assert_eq!(starts, vec![0.0, 4.0, 10.0]);
+        assert_eq!(t.starts(), &[0.0, 4.0, 10.0]);
+        assert_eq!(t.ends(), &[4.0, 10.0, 15.0]);
         assert!(t.revoke(JobId(2)));
         assert!(!t.revoke(JobId(2)));
         assert_eq!(t.len(), 2);

@@ -114,7 +114,15 @@ impl DagBuilder {
         for (pos, &j) in topo.iter().enumerate() {
             topo_pos[j.idx()] = pos as u32;
         }
-        Ok(Dag { jobs: self.jobs, edges: self.edges, succs, preds, topo, topo_pos })
+        Ok(Dag {
+            jobs: self.jobs,
+            edges: self.edges,
+            succs,
+            preds,
+            topo,
+            topo_pos,
+            uid: crate::graph::fresh_dag_uid(),
+        })
     }
 }
 

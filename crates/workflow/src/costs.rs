@@ -16,12 +16,22 @@
 //! [`CostGenerator`] retains the nominal `ω` vector so the new columns are
 //! drawn from the *same* distribution as the original ones.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::WorkflowError;
 use crate::graph::{Dag, EdgeId};
 use crate::ids::{JobId, ResourceId};
+
+/// Source of process-unique [`CostTable::state_id`] values; relaxed
+/// ordering suffices (uniqueness only, the ids never reach an output).
+static NEXT_TABLE_STATE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_table_state() -> u64 {
+    NEXT_TABLE_STATE.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Computation and communication cost matrices for one DAG on one
 /// (growable) resource pool.
@@ -31,7 +41,7 @@ use crate::ids::{JobId, ResourceId};
 /// indexed load, and [`CostTable::add_resource`] — the paper's central
 /// pool-growth mechanic — appends one `jobs`-length column in O(jobs)
 /// without relayouting the existing columns.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostTable {
     /// Column-major `w`: `comp[j · jobs + i]` is the cost of job `i` on
     /// resource `j`.
@@ -40,6 +50,41 @@ pub struct CostTable {
     comm: Vec<f64>,
     jobs: usize,
     resources: usize,
+    /// Process-unique id of the current column state; see
+    /// [`CostTable::state_id`].
+    state_id: u64,
+    /// Append lineage of this value: `(state_id, resources)` pairs of the
+    /// states this table passed through before earlier `add_resource`
+    /// calls, oldest first. Bounded by the number of appends (≤ pool size).
+    history: Vec<(u64, usize)>,
+}
+
+// The state id and history are process-local cache keys, not data: they
+// are dropped on serialization and re-drawn on deserialization (a
+// deserialized table is a new state as far as cached derived sums are
+// concerned), hence the hand-written impls.
+impl Serialize for CostTable {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (serde::Value::Str("comp".to_string()), self.comp.to_value()),
+            (serde::Value::Str("comm".to_string()), self.comm.to_value()),
+            (serde::Value::Str("jobs".to_string()), self.jobs.to_value()),
+            (serde::Value::Str("resources".to_string()), self.resources.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CostTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(CostTable {
+            comp: Deserialize::from_value(v.field("comp"))?,
+            comm: Deserialize::from_value(v.field("comm"))?,
+            jobs: Deserialize::from_value(v.field("jobs"))?,
+            resources: Deserialize::from_value(v.field("resources"))?,
+            state_id: fresh_table_state(),
+            history: Vec::new(),
+        })
+    }
 }
 
 impl CostTable {
@@ -72,7 +117,14 @@ impl CostTable {
                 flat.push(row[j]);
             }
         }
-        Ok(Self { comp: flat, comm, jobs, resources })
+        Ok(Self {
+            comp: flat,
+            comm,
+            jobs,
+            resources,
+            state_id: fresh_table_state(),
+            history: Vec::new(),
+        })
     }
 
     /// Derive communication costs from a DAG's edge data volumes times a
@@ -110,6 +162,36 @@ impl CostTable {
     #[inline]
     pub fn comp(&self, job: JobId, r: ResourceId) -> f64 {
         self.comp[r.idx() * self.jobs + job.idx()]
+    }
+
+    /// Resource `r`'s whole cost column as a contiguous slice
+    /// (`column[i] = w[i][r]`) — the streaming access the incremental rank
+    /// engine uses to fold a joining resource into its per-job sums.
+    #[inline]
+    pub fn comp_column(&self, r: ResourceId) -> &[f64] {
+        &self.comp[r.idx() * self.jobs..(r.idx() + 1) * self.jobs]
+    }
+
+    /// Process-unique id of this table's current column state. Columns are
+    /// immutable once added, so two tables reporting the same `state_id`
+    /// hold bit-identical `comp`/`comm` contents (clones share the id;
+    /// [`CostTable::add_resource`] draws a fresh one).
+    #[inline]
+    pub fn state_id(&self) -> u64 {
+        self.state_id
+    }
+
+    /// If this table passed through state `state_id` on its append lineage
+    /// (or is in it now), return the resource count it had then: columns
+    /// `[0, count)` are bit-identical to that state's, and columns
+    /// `[count, resource_count)` were appended since. Returns `None` for a
+    /// state this value never was in — derived sums cached against it must
+    /// be rebuilt from scratch.
+    pub fn columns_since(&self, state_id: u64) -> Option<usize> {
+        if state_id == self.state_id {
+            return Some(self.resources);
+        }
+        self.history.iter().rev().find(|&&(id, _)| id == state_id).map(|&(_, n)| n)
     }
 
     /// Average computation cost `w̄_i` over the current resource pool.
@@ -172,6 +254,8 @@ impl CostTable {
         }
         self.comp.extend_from_slice(column);
         let id = ResourceId::from(self.resources);
+        self.history.push((self.state_id, self.resources));
+        self.state_id = fresh_table_state();
         self.resources += 1;
         Ok(id)
     }
@@ -186,6 +270,10 @@ impl CostTable {
             comm: self.comm.clone(),
             jobs: self.jobs,
             resources: r,
+            // A truncation is a new state outside the append lineage (its
+            // column set shrank), so it gets a fresh, history-less id.
+            state_id: fresh_table_state(),
+            history: Vec::new(),
         }
     }
 

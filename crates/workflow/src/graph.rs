@@ -4,9 +4,20 @@
 //! caches predecessor/successor adjacency plus a topological order, so the
 //! schedulers never re-derive structure in their hot loops.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use crate::ids::JobId;
+
+/// Source of process-unique [`Dag::uid`] values. Uniqueness is all that
+/// matters (the ids never affect scheduling output, only cache validity),
+/// so a relaxed fetch-add is enough even under the parallel sweep driver.
+static NEXT_DAG_UID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_dag_uid() -> u64 {
+    NEXT_DAG_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Dense index of an edge in [`Dag::edges`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -64,7 +75,7 @@ pub struct Edge {
 /// Construct with [`crate::DagBuilder`]; invalid inputs (cycles, duplicate
 /// edges, unknown job ids) are rejected at build time so every `Dag` value
 /// in the system is well formed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dag {
     pub(crate) jobs: Vec<Job>,
     pub(crate) edges: Vec<Edge>,
@@ -76,9 +87,53 @@ pub struct Dag {
     pub(crate) topo: Vec<JobId>,
     /// `topo_pos[i]` — position of job `i` within `topo`.
     pub(crate) topo_pos: Vec<u32>,
+    /// Process-unique structure id; see [`Dag::uid`].
+    pub(crate) uid: u64,
+}
+
+// The uid is a process-local cache key, not data: it is dropped on
+// serialization and re-drawn on deserialization (a deserialized DAG is a
+// new structure as far as any cached derived state is concerned), which is
+// why these impls are written by hand instead of derived.
+impl Serialize for Dag {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (serde::Value::Str("jobs".to_string()), self.jobs.to_value()),
+            (serde::Value::Str("edges".to_string()), self.edges.to_value()),
+            (serde::Value::Str("succs".to_string()), self.succs.to_value()),
+            (serde::Value::Str("preds".to_string()), self.preds.to_value()),
+            (serde::Value::Str("topo".to_string()), self.topo.to_value()),
+            (serde::Value::Str("topo_pos".to_string()), self.topo_pos.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dag {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Dag {
+            jobs: Deserialize::from_value(v.field("jobs"))?,
+            edges: Deserialize::from_value(v.field("edges"))?,
+            succs: Deserialize::from_value(v.field("succs"))?,
+            preds: Deserialize::from_value(v.field("preds"))?,
+            topo: Deserialize::from_value(v.field("topo"))?,
+            topo_pos: Deserialize::from_value(v.field("topo_pos"))?,
+            uid: fresh_dag_uid(),
+        })
+    }
 }
 
 impl Dag {
+    /// Process-unique id of this DAG's structure, assigned at build (or
+    /// deserialization) time. Clones share the uid — they are structurally
+    /// identical — so caches keyed on it (e.g.
+    /// [`crate::rank_engine::RankEngine`]) stay valid across clones but
+    /// never confuse two independently built DAGs that happen to share
+    /// job/edge counts.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
     /// Number of jobs `v`.
     #[inline]
     pub fn job_count(&self) -> usize {

@@ -22,6 +22,9 @@
 //!   support for resources that join the pool *after* generation (the grid
 //!   dynamics studied by the paper),
 //! * [`rank`] — upward/downward ranks and the critical path (HEFT Eq. 5–6),
+//! * [`rank_engine`] — incrementally maintained upward ranks: pool deltas
+//!   are applied as `O(jobs + edges)` updates instead of from-scratch
+//!   recomputation, bit-identical to the [`rank`] kernel,
 //! * [`generators`] — the parametric random DAG generator of the paper's
 //!   §4.2 plus the BLAST, WIEN2K, Montage-like and Gaussian-elimination
 //!   application shapes of §4.3,
@@ -38,6 +41,7 @@ pub mod generators;
 pub mod graph;
 pub mod ids;
 pub mod rank;
+pub mod rank_engine;
 pub mod sample;
 pub mod topo;
 
@@ -47,3 +51,4 @@ pub use error::WorkflowError;
 pub use graph::{Dag, Edge, EdgeId, Job, OpClass};
 pub use ids::{JobId, ResourceId};
 pub use rank::{critical_path, rank_downward, rank_upward};
+pub use rank_engine::RankEngine;

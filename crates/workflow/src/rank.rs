@@ -17,20 +17,15 @@ use crate::costs::CostTable;
 use crate::graph::Dag;
 use crate::ids::{JobId, ResourceId};
 
-/// Compute `rank_u` for every job.
+/// Compute `rank_u` for every job, averaging over the full resource pool.
+///
+/// Delegates to [`rank_upward_over_into`] with every column alive —
+/// there is exactly one rank kernel, and averaging over the full pool in
+/// ascending id order is bit-identical to [`CostTable::avg_comp`]'s
+/// left-to-right column sum.
 pub fn rank_upward(dag: &Dag, costs: &CostTable) -> Vec<f64> {
-    let mut rank = vec![0.0f64; dag.job_count()];
-    for &j in dag.topo_order().iter().rev() {
-        let mut best = 0.0f64;
-        for &(s, e) in dag.succs(j) {
-            let cand = costs.avg_comm(e) + rank[s.idx()];
-            if cand > best {
-                best = cand;
-            }
-        }
-        rank[j.idx()] = costs.avg_comp(j) + best;
-    }
-    rank
+    let alive: Vec<ResourceId> = (0..costs.resource_count()).map(ResourceId::from).collect();
+    rank_upward_over(dag, costs, &alive)
 }
 
 /// As [`rank_upward`] but averaging computation costs over the `alive`

@@ -67,6 +67,42 @@ fn table3_shard_split_reproduces_the_full_run() {
 }
 
 #[test]
+fn merge_tool_restores_sharded_csv_directories_bit_for_bit() {
+    // The `experiments merge` path end to end: write a 3-way shard split
+    // of table3 to real CSV directories, merge them, and require byte
+    // identity with the unsharded CSV.
+    let root = std::env::temp_dir().join(format!("aheft_merge_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let full_dir = root.join("full");
+    experiments::table3(Scale::Smoke, &threads(1)).write_csv(&full_dir, "table3").unwrap();
+    let mut inputs = Vec::new();
+    for i in 0..3 {
+        let dir = root.join(format!("s{i}"));
+        experiments::table3(Scale::Smoke, &shard(i, 3)).write_csv(&dir, "table3").unwrap();
+        inputs.push(dir);
+    }
+    let out = root.join("merged");
+    let merged = aheft_bench::merge::merge_shard_dirs(&out, &inputs).expect("merge succeeds");
+    assert_eq!(merged.len(), 1);
+    assert_eq!(merged[0].name, "table3.csv");
+    let full = std::fs::read_to_string(full_dir.join("table3.csv")).unwrap();
+    let stitched = std::fs::read_to_string(out.join("table3.csv")).unwrap();
+    assert_eq!(full, stitched, "merged shard CSVs must equal the unsharded run byte for byte");
+    // Shard order matters: a permuted input list must be rejected or give
+    // different bytes — never silently agree.
+    let swapped = vec![inputs[1].clone(), inputs[0].clone(), inputs[2].clone()];
+    match aheft_bench::merge::merge_shard_dirs(&root.join("merged_swapped"), &swapped) {
+        Err(_) => {}
+        Ok(_) => {
+            let bad =
+                std::fs::read_to_string(root.join("merged_swapped").join("table3.csv")).unwrap();
+            assert_ne!(bad, full, "permuted shard order must not reproduce the full run");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn sharded_workers_may_also_be_parallel() {
     // A shard is itself a parallel sweep: threads and sharding compose.
     let full = csv_rows(&experiments::table4(Scale::Smoke, &threads(4)));

@@ -8,6 +8,12 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The allocation counter is process-global, but the libtest harness runs
+/// `#[test]` fns concurrently — one test's warm-up allocations must not
+/// land inside another's measured window. Every test takes this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 use aheft::core::aheft::{aheft_schedule_into, AheftConfig, ReschedulableSet, ScheduleWorkspace};
 use aheft::core::planner::{AdaptivePlanner, Decision, ReschedulePolicy};
@@ -45,6 +51,23 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Assert that `measure` performs zero heap allocations, tolerating rare
+/// *ambient* process allocations (the counter is global: allocator
+/// machinery, harness threads): a genuine per-pass allocation shows up in
+/// **every** window, so it suffices that one of a few windows is clean.
+fn assert_alloc_free(label: &str, mut measure: impl FnMut()) {
+    let mut last = 0;
+    for _ in 0..5 {
+        let before = allocations();
+        measure();
+        last = allocations() - before;
+        if last == 0 {
+            return;
+        }
+    }
+    panic!("{label}: {last} heap allocations in every measured window");
+}
+
 fn midrun_instance(jobs: usize, resources: usize) -> (Dag, CostTable, Snapshot, Vec<ResourceId>) {
     let mut rng = StdRng::seed_from_u64(42);
     let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
@@ -65,6 +88,7 @@ fn midrun_instance(jobs: usize, resources: usize) -> (Dag, CostTable, Snapshot, 
 
 #[test]
 fn aheft_pass_allocates_nothing_after_warmup() {
+    let _serial = SERIAL.lock().unwrap();
     let (dag, costs, snap, alive) = midrun_instance(120, 16);
     for config in [
         AheftConfig::default(),
@@ -75,18 +99,12 @@ fn aheft_pass_allocates_nothing_after_warmup() {
         // Warm-up: buffers grow to steady-state capacity.
         let warm = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
         aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
-        let before = allocations();
         let mut last = 0.0;
-        for _ in 0..10 {
-            last = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
-        }
-        let after = allocations();
-        assert_eq!(
-            after - before,
-            0,
-            "{config:?}: {} heap allocations in 10 warmed-up passes",
-            after - before
-        );
+        assert_alloc_free(&format!("{config:?}"), || {
+            for _ in 0..10 {
+                last = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+            }
+        });
         assert_eq!(warm.to_bits(), last.to_bits(), "reuse changed the result");
     }
 }
@@ -95,6 +113,7 @@ fn aheft_pass_allocates_nothing_after_warmup() {
 fn planner_keep_evaluation_allocates_nothing_after_warmup() {
     // The runner's per-event path: planner evaluation ending in `Keep`
     // (the overwhelmingly common case across a sweep) must be free.
+    let _serial = SERIAL.lock().unwrap();
     let (dag, costs, snap, alive) = midrun_instance(80, 8);
     let mut planner = AdaptivePlanner::new(AheftConfig::default(), ReschedulePolicy::default());
     planner.initial_plan(&dag, &costs);
@@ -102,16 +121,10 @@ fn planner_keep_evaluation_allocates_nothing_after_warmup() {
     // identical candidates are always Keep).
     planner.evaluate(&dag, &costs, snap.view(), &alive);
     planner.evaluate(&dag, &costs, snap.view(), &alive);
-    let before = allocations();
-    for _ in 0..10 {
-        let decision = planner.evaluate(&dag, &costs, snap.view(), &alive);
-        assert!(matches!(decision, Decision::Keep { .. }), "identical candidate must be kept");
-    }
-    let after = allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "{} heap allocations in 10 warmed-up Keep evaluations",
-        after - before
-    );
+    assert_alloc_free("Keep evaluation", || {
+        for _ in 0..10 {
+            let decision = planner.evaluate(&dag, &costs, snap.view(), &alive);
+            assert!(matches!(decision, Decision::Keep { .. }), "identical candidate must be kept");
+        }
+    });
 }
