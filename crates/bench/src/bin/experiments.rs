@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! experiments [--scale smoke|default|full] [--csv DIR]
-//!             [--threads N] [--shard i/m] [--quiet] <artifact>...
+//!             [--threads N] [--shard i/m] [--policy NAME[,NAME...]]
+//!             [--quiet] <artifact>...
 //! experiments merge --out DIR SHARD_DIR...
 //! artifacts: fig5 headline table3 table4 table6 table7 table8
-//!            fig8a..fig8f ablations all
+//!            fig8a..fig8f ablations policies all
 //! ```
 //!
 //! `--threads N` fans the case sweep out over N worker threads;
@@ -64,6 +65,7 @@ fn main() {
                 vec![experiments::fig8(scale, f8.chars().last().expect("validated"), cfg)]
             }
             "ablations" => experiments::ablations(scale, cfg),
+            "policies" => vec![experiments::policy_matrix(scale, cfg, &args.policies)],
             other => unreachable!("parse_args validated '{other}'"),
         };
         // A sharded process emits only its own rows; say so instead of

@@ -9,7 +9,7 @@ use crate::scale::Scale;
 use crate::sweep::{Shard, SweepConfig};
 
 /// Every artifact name the binary accepts (besides the `all` alias).
-pub const ARTIFACTS: [&str; 14] = [
+pub const ARTIFACTS: [&str; 15] = [
     "fig5",
     "headline",
     "table3",
@@ -24,6 +24,7 @@ pub const ARTIFACTS: [&str; 14] = [
     "fig8e",
     "fig8f",
     "ablations",
+    "policies",
 ];
 
 /// Parsed command line of the `experiments` binary.
@@ -37,6 +38,9 @@ pub struct Args {
     pub sweep: SweepConfig,
     /// Validated artifact names, `all` already expanded, in run order.
     pub artifacts: Vec<String>,
+    /// Validated policy names for the `policies` artifact (`--policy
+    /// NAME[,NAME...]`, repeatable); empty = the full registry.
+    pub policies: Vec<String>,
     /// `merge` subcommand arguments, when the first positional was `merge`.
     pub merge: Option<MergeArgs>,
     /// `--help` was requested; print [`usage`] and exit 0.
@@ -56,19 +60,24 @@ pub struct MergeArgs {
 pub fn usage() -> String {
     format!(
         "usage: experiments [--scale smoke|default|full] [--csv DIR]\n\
-        \x20                  [--threads N] [--shard i/m] [--quiet] <artifact>...\n\
+        \x20                  [--threads N] [--shard i/m] [--policy NAME[,NAME...]]\n\
+        \x20                  [--quiet] <artifact>...\n\
         \x20      experiments merge --out DIR SHARD_DIR...\n\
          artifacts: {} all\n\
+         policies:  {}\n\
          --threads N   worker threads for the case sweep (default: all cores)\n\
          --shard i/m   compute only table rows with index ≡ i (mod m) — split\n\
         \x20              one artifact across m independent processes; taking\n\
         \x20              row j of each table from shard j mod m rebuilds the\n\
         \x20              unsharded CSV byte for byte\n\
+         --policy ...  which registered policies the `policies` artifact\n\
+        \x20              sweeps (repeatable; default: the full registry)\n\
          --quiet       suppress the live done/total case counter\n\
          merge         stitch the --csv directories of a complete shard set\n\
         \x20              (listed in shard order) back into one result set,\n\
         \x20              byte-identical to an unsharded run",
-        ARTIFACTS.join(" ")
+        ARTIFACTS.join(" "),
+        aheft_core::policy::POLICY_NAMES.join(" ")
     )
 }
 
@@ -114,6 +123,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
     let mut csv_dir: Option<PathBuf> = None;
     let mut sweep = SweepConfig { progress: true, ..SweepConfig::default() };
     let mut artifacts: Vec<String> = Vec::new();
+    let mut policies: Vec<String> = Vec::new();
     if args.first().map(String::as_str) == Some("merge") {
         let merge = parse_merge_args(args.into_iter().skip(1).collect())?;
         return Ok(Args {
@@ -121,6 +131,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
             csv_dir,
             sweep,
             artifacts: Vec::new(),
+            policies,
             help: merge.is_none(),
             merge,
         });
@@ -150,6 +161,21 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
                 sweep.shard = Shard::parse(&v)
                     .ok_or_else(|| format!("--shard expects i/m with i < m, got '{v}'"))?;
             }
+            "--policy" => {
+                // Validated upfront, like artifacts: an unknown policy at
+                // the end of the list must not waste a sweep.
+                let v = flag_value(&mut it, "--policy")?;
+                for name in v.split(',') {
+                    let name = name.trim();
+                    if !aheft_core::policy::is_policy(name) {
+                        return Err(format!(
+                            "unknown policy '{name}' (known: {})",
+                            aheft_core::policy::POLICY_NAMES.join(" ")
+                        ));
+                    }
+                    policies.push(name.to_string());
+                }
+            }
             "--quiet" => sweep.progress = false,
             "--help" | "-h" => {
                 return Ok(Args {
@@ -157,6 +183,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
                     csv_dir,
                     sweep,
                     artifacts: Vec::new(),
+                    policies,
                     merge: None,
                     help: true,
                 });
@@ -176,7 +203,14 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
     if let Some(bad) = artifacts.iter().find(|a| !ARTIFACTS.contains(&a.as_str())) {
         return Err(format!("unknown artifact '{bad}'"));
     }
-    Ok(Args { scale, csv_dir, sweep, artifacts, merge: None, help: false })
+    // --policy configures only the `policies` artifact; a sweep that would
+    // silently drop the flag is rejected upfront like any other mistake.
+    if !policies.is_empty() && !artifacts.iter().any(|a| a == "policies") {
+        return Err("--policy only applies to the 'policies' artifact; add it \
+                    to the artifact list"
+            .into());
+    }
+    Ok(Args { scale, csv_dir, sweep, artifacts, policies, merge: None, help: false })
 }
 
 #[cfg(test)]
@@ -232,6 +266,43 @@ mod tests {
     #[test]
     fn unknown_flag_is_rejected() {
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn policy_flag_parses_lists_and_repeats() {
+        let a = parse(&["--policy", "heft,ranked-jit", "policies"]).unwrap();
+        assert_eq!(a.policies, vec!["heft", "ranked-jit"]);
+        assert_eq!(a.artifacts, vec!["policies"]);
+        // Repeated flags append, spaces around commas are tolerated; the
+        // bare flag runs `all`, which includes the policies artifact.
+        let b = parse(&["--policy", "aheft-noinsert", "--policy", "minmin, sufferage"]).unwrap();
+        assert_eq!(b.policies, vec!["aheft-noinsert", "minmin", "sufferage"]);
+        assert!(b.artifacts.iter().any(|a| a == "policies"));
+        // No --policy = empty list (artifact defaults to the full registry).
+        assert!(parse(&["policies"]).unwrap().policies.is_empty());
+    }
+
+    #[test]
+    fn policy_flag_without_policies_artifact_is_rejected() {
+        // The flag must never be silently dropped: selecting policies for
+        // a sweep that does not run the policies artifact is an error.
+        let err = parse(&["--policy", "ranked-jit", "table3"]).expect_err("dropped flag");
+        assert!(err.contains("policies"), "{err}");
+        // Fine when the artifact list includes it (explicitly or via all).
+        assert!(parse(&["--policy", "ranked-jit", "table3", "policies"]).is_ok());
+        assert!(parse(&["--policy", "ranked-jit", "all"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected_upfront() {
+        for bad in ["bogus", "heft,bogus", "HEFT", ""] {
+            let err = parse(&["--policy", bad, "policies"]).expect_err(bad);
+            assert!(err.contains("unknown policy") || err.contains("--policy"), "{err}");
+        }
+        assert!(parse(&["--policy"]).is_err(), "missing value");
+        // The error names every registered policy for discoverability.
+        let err = parse(&["--policy", "bogus"]).unwrap_err();
+        assert!(err.contains("ranked-jit"), "{err}");
     }
 
     #[test]

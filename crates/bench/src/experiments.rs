@@ -21,7 +21,7 @@ use aheft_workflow::generators::blast::AppDagParams;
 use aheft_workflow::generators::random::RandomDagParams;
 use aheft_workflow::sample;
 
-use crate::harness::{mix_seed, run_case, Case, CaseResult, Workload};
+use crate::harness::{mix_seed, run_case, run_policy_case, Case, CaseResult, Workload};
 use crate::scale::Scale;
 use crate::sweep::{run_sharded, SweepConfig};
 use crate::tables::{mk, pct, TextTable};
@@ -470,6 +470,56 @@ pub fn fig8(scale: Scale, which: char, cfg: &SweepConfig) -> TextTable {
 }
 
 // ---------------------------------------------------------------------------
+// Policy matrix
+// ---------------------------------------------------------------------------
+
+/// Policy matrix (ours) — every requested policy executed on one *shared*
+/// random-DAG grid and paired against static HEFT on identical grids (the
+/// paper's paired methodology extended to the whole registry).
+///
+/// `policies` comes from the `--policy` flag (already validated); empty
+/// means the full registry. One row group per policy, in request order, so
+/// `--shard` partitions rows exactly like the paper tables. The grid pins
+/// CCR to 1.0 (the paper's balanced regime) and sweeps the remaining
+/// random-DAG axes at the given scale.
+pub fn policy_matrix(scale: Scale, cfg: &SweepConfig, policies: &[String]) -> TextTable {
+    let names: Vec<String> = if policies.is_empty() {
+        aheft_core::policy::POLICY_NAMES.iter().map(|s| s.to_string()).collect()
+    } else {
+        policies.to_vec()
+    };
+    let mut t = TextTable::new(
+        "Policy matrix — registered policies on the shared random-DAG grid",
+        &["policy", "avg makespan", "vs HEFT", "avg reschedules"],
+    );
+    let grid = random_cases(scale, Some(1.0), None);
+    let per_policy = grid.len();
+    let groups: Vec<Vec<(usize, Case)>> =
+        (0..names.len()).map(|pi| grid.iter().map(|&c| (pi, c)).collect()).collect();
+    for (gi, results) in run_sharded(&groups, cfg, |(pi, c)| run_policy_case(c, &names[*pi])) {
+        let mut mks = Running::new();
+        let mut heft = Running::new();
+        let mut resch = Running::new();
+        for r in &results {
+            mks.push(r.makespan);
+            heft.push(r.heft);
+            resch.push(r.reschedules as f64);
+        }
+        t.row(vec![
+            names[gi].clone(),
+            mk(mks.mean()),
+            pct(aheft_core::metrics::improvement_rate(heft.mean(), mks.mean())),
+            format!("{:.1}", resch.mean()),
+        ]);
+    }
+    t.note = format!(
+        "paired vs static HEFT on identical grids; CCR pinned to 1.0 \
+         ({per_policy} cases per policy)"
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------------
 
@@ -806,6 +856,25 @@ mod tests {
         let par = table3(Scale::Smoke, &SweepConfig::with_threads(4));
         assert_eq!(seq.rows, par.rows);
         assert_eq!(seq.rows.len(), CCR.len());
+    }
+
+    #[test]
+    fn policy_matrix_rows_follow_request_order_and_are_deterministic() {
+        let names: Vec<String> = vec!["ranked-jit".into(), "heft".into()];
+        let seq = policy_matrix(Scale::Smoke, &SweepConfig::sequential(), &names);
+        assert_eq!(seq.rows.len(), 2);
+        assert_eq!(seq.rows[0][0], "ranked-jit");
+        assert_eq!(seq.rows[1][0], "heft");
+        // heft vs its own paired baseline is exactly 0.0%.
+        assert!(seq.rows[1][2].starts_with("0.0"), "heft row: {:?}", seq.rows[1]);
+        let par = policy_matrix(Scale::Smoke, &SweepConfig::with_threads(4), &names);
+        assert_eq!(seq.rows, par.rows);
+        // Empty request = the full registry, in registry order.
+        let full = policy_matrix(Scale::Smoke, &SweepConfig::sequential(), &[]);
+        assert_eq!(full.rows.len(), aheft_core::policy::POLICY_NAMES.len());
+        for (row, name) in full.rows.iter().zip(aheft_core::policy::POLICY_NAMES) {
+            assert_eq!(row[0], name);
+        }
     }
 
     #[test]

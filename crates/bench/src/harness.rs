@@ -18,7 +18,8 @@
 //! AHEFT-vs-HEFT paired comparison sees an identical grid no matter which
 //! thread, shard, or process evaluates the case.
 
-use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft};
+use aheft_core::policy::run_named_policy;
+use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft, RunConfig};
 use aheft_core::DynamicHeuristic;
 use aheft_gridsim::pool::PoolDynamics;
 use aheft_workflow::generators::blast::AppDagParams;
@@ -158,6 +159,41 @@ pub fn run_cases(cases: &[Case], with_minmin: bool) -> Vec<CaseResult> {
     aheft_parcomp::par_map(cases, aheft_parcomp::default_threads(), |c| run_case(c, with_minmin))
 }
 
+/// One named policy's makespan on a case, paired with the static-HEFT
+/// baseline on the *same* generated grid (the paper's methodology extended
+/// to the whole policy registry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCaseResult {
+    /// Makespan of the named policy.
+    pub makespan: f64,
+    /// Static-HEFT makespan on the identical grid.
+    pub heft: f64,
+    /// Plan replacements the policy adopted (0 for JIT policies).
+    pub reschedules: usize,
+}
+
+/// Execute one case under a registered policy name (see
+/// [`aheft_core::policy::POLICY_NAMES`]), pairing it with static HEFT.
+/// The `"heft"` policy is its own baseline (the run is deterministic), so
+/// it is simulated once, not twice.
+///
+/// # Panics
+/// Panics on unknown names — the `experiments` CLI validates the
+/// `--policy` list before any sweep starts.
+pub fn run_policy_case(case: &Case, policy: &str) -> PolicyCaseResult {
+    let (wf, costs, sim_seed) = case.materialize();
+    let dynamics = case.dynamics();
+    let cfg = RunConfig::default();
+    let report = run_named_policy(policy, &wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, &cfg)
+        .unwrap_or_else(|| panic!("unknown policy '{policy}' (validated upfront)"));
+    let heft = if policy == "heft" {
+        report.makespan
+    } else {
+        run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, sim_seed).makespan
+    };
+    PolicyCaseResult { makespan: report.makespan, heft, reschedules: report.reschedules }
+}
+
 /// Mix two seed components into one master seed (splitmix-style), so case
 /// grids get decorrelated streams.
 pub fn mix_seed(a: u64, b: u64) -> u64 {
@@ -212,6 +248,27 @@ mod tests {
             assert_eq!(p.heft, s.heft);
             assert_eq!(p.aheft, s.aheft);
         }
+    }
+
+    #[test]
+    fn policy_case_matches_paired_run_for_paper_strategies() {
+        let c = small_case(5);
+        let paired = run_case(&c, true);
+        let aheft = run_policy_case(&c, "aheft");
+        assert_eq!(aheft.makespan, paired.aheft);
+        assert_eq!(aheft.heft, paired.heft);
+        assert_eq!(aheft.reschedules, paired.reschedules);
+        let minmin = run_policy_case(&c, "minmin");
+        assert_eq!(Some(minmin.makespan), paired.minmin);
+        let heft = run_policy_case(&c, "heft");
+        assert_eq!(heft.makespan, paired.heft);
+        assert_eq!(heft.reschedules, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_case_panics() {
+        let _ = run_policy_case(&small_case(0), "bogus");
     }
 
     #[test]

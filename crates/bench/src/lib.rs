@@ -15,6 +15,7 @@
 //! | Table 8 | [`experiments::table8`] | BLAST improvement rises with CCR; WIEN2K flat |
 //! | Fig. 8(a)–(f) | [`experiments::fig8`] | four series vs CCR/β/v/R/Δ/δ |
 //! | ablations (ours) | [`experiments::ablations`] | slot policy, abort-vs-pin, policies, dynamic heuristics |
+//! | policy matrix (ours) | [`experiments::policy_matrix`] | every registered `--policy` vs paired static HEFT |
 //!
 //! The paper's full campaign is 500,000 random-DAG cases plus an
 //! application campaign; [`scale::Scale`] selects a stratified subsample

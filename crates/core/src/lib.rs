@@ -13,9 +13,13 @@
 //! * [`planner`] — the Planner of Fig. 1: event subscription, reschedule
 //!   evaluation and the accept-if-better rule of the generic algorithm
 //!   (Fig. 2),
-//! * [`runner`] — the Planner/Executor collaboration loop: executes a
-//!   workflow on the `aheft-gridsim` substrate under pool dynamics and
-//!   returns a [`runner::RunReport`],
+//! * [`policy`] — the pluggable strategy layer: the [`SchedulingPolicy`]
+//!   trait, the planned/JIT policy families, and the by-name registry
+//!   (`--policy` in the experiment harness),
+//! * [`runner`] — the ONE generic event pump ([`runner::run_policy`]):
+//!   executes a workflow on the `aheft-gridsim` substrate under pool
+//!   dynamics, driving any [`SchedulingPolicy`], and returns a
+//!   [`runner::RunReport`],
 //! * [`whatif`] — the "What…if…" evaluation API sketched in §3.3 (predicted
 //!   makespan when a resource is added/removed),
 //! * [`metrics`] — makespan, SLR, speedup, improvement rate, utilization.
@@ -27,6 +31,7 @@ pub mod heft;
 pub mod metrics;
 pub mod minmin;
 pub mod planner;
+pub mod policy;
 pub mod runner;
 pub mod schedule;
 pub mod whatif;
@@ -38,7 +43,11 @@ pub use aheft::{
 pub use heft::{heft_schedule, heft_schedule_with, HeftConfig};
 pub use minmin::DynamicHeuristic;
 pub use planner::{AdaptivePlanner, ReschedulePolicy};
-pub use runner::{run_aheft, run_dynamic, run_static_heft, RunReport};
+pub use policy::{
+    make_policy, run_named_policy, JitPolicy, PlannedPolicy, PolicyEvent, PolicyStats,
+    SchedulingPolicy, POLICY_NAMES,
+};
+pub use runner::{run_aheft, run_dynamic, run_policy, run_static_heft, ExecCtx, RunReport};
 pub use schedule::Schedule;
 
 // Re-export the slot policy so downstream users configure schedulers without

@@ -9,7 +9,9 @@
 //!
 //! [`select_batch`] implements the classic batch selection loop over the
 //! current ready set; Max-Min and Sufferage are included as additional
-//! baselines for the ablation benches.
+//! baselines for the ablation benches. The simulation-side executor for
+//! these heuristics is [`crate::policy::JitPolicy`], a
+//! [`crate::policy::SchedulingPolicy`] on the generic event pump.
 
 use aheft_gridsim::executor::ExecState;
 use aheft_workflow::{CostTable, Dag, JobId, ResourceId};

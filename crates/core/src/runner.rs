@@ -1,32 +1,38 @@
-//! The Planner/Executor collaboration loop.
+//! The Planner/Executor collaboration loop — ONE event pump for every
+//! strategy.
 //!
-//! This module executes a workflow on the `aheft-gridsim` substrate under
-//! resource-pool dynamics and returns the *actual* makespan. Three
-//! strategies are provided, matching the paper's §4 comparison:
+//! [`run_policy`] executes a workflow on the `aheft-gridsim` substrate
+//! under resource-pool dynamics and returns the *actual* makespan. It owns
+//! everything strategy-independent — the event queue, transfer semantics,
+//! pool dynamics, failure injection, trace recording and the RNG
+//! discipline — and delegates every strategy decision to a pluggable
+//! [`SchedulingPolicy`] (see [`crate::policy`]).
 //!
-//! * [`run_static_heft`] — traditional static scheduling: one full HEFT plan
-//!   at `t = 0`, executed as-is; new resources are ignored ("the static
-//!   scheduling approach can not utilize new resources after the plan is
-//!   made", §3.1).
-//! * [`run_aheft`] — the paper's adaptive rescheduling: the same initial
-//!   plan, but the Planner listens for resource-pool-change events,
-//!   re-runs AHEFT over the execution snapshot and replaces the plan
-//!   whenever the predicted makespan improves (Fig. 2).
-//! * [`run_dynamic`] — local just-in-time decisions (Min-Min by default):
-//!   jobs are mapped only when ready and input transfers start only after
-//!   mapping (§4.1 assumption 2).
+//! The paper's §4 comparison strategies are thin wrappers over concrete
+//! policies:
 //!
-//! All strategies share the same event-driven executor, the same transfer
-//! semantics and the same RNG discipline (the RNG is consumed only by
-//! late-resource column sampling under [`ActualModel::Exact`]), so two
-//! strategies run against the same seed see byte-identical grids — the
-//! paper's paired-comparison methodology.
+//! * [`run_static_heft`] — [`crate::policy::PlannedPolicy::static_heft`]:
+//!   one full HEFT plan at `t = 0`, executed as-is; new resources are
+//!   ignored ("the static scheduling approach can not utilize new
+//!   resources after the plan is made", §3.1).
+//! * [`run_aheft`] — [`crate::policy::PlannedPolicy::adaptive`]: the same
+//!   initial plan, but the Planner listens for resource-pool-change
+//!   events, re-runs AHEFT over the execution snapshot and replaces the
+//!   plan whenever the predicted makespan improves (Fig. 2).
+//! * [`run_dynamic`] — [`crate::policy::JitPolicy`]: local just-in-time
+//!   decisions (Min-Min by default); jobs are mapped only when ready and
+//!   input transfers start only after mapping (§4.1 assumption 2).
+//!
+//! Because the fabric is shared, *any* two policies run against the same
+//! seed see byte-identical grids (the RNG is consumed only by
+//! late-resource column sampling and, under [`ActualModel::Noisy`],
+//! actual-runtime draws) — the paper's paired-comparison methodology
+//! extends to every registered policy.
 
 use aheft_gridsim::engine::{EventQueue, EventToken};
 use aheft_gridsim::event::Event;
-use aheft_gridsim::executor::ExecState;
+use aheft_gridsim::executor::{ExecState, SnapshotView};
 use aheft_gridsim::fault::FailureModel;
-use aheft_gridsim::plan::{Assignment, Plan};
 use aheft_gridsim::pool::{PoolDynamics, PoolState};
 use aheft_gridsim::predictor::ActualModel;
 use aheft_gridsim::time::SimTime;
@@ -36,9 +42,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::aheft::{AheftConfig, ReschedulableSet};
-use crate::minmin::{select_batch, DynamicHeuristic};
-use crate::planner::{AdaptivePlanner, Decision, ReschedulePolicy};
+use crate::aheft::AheftConfig;
+use crate::minmin::DynamicHeuristic;
+use crate::planner::ReschedulePolicy;
+use crate::policy::{JitPolicy, PlannedPolicy, PolicyEvent, SchedulingPolicy};
 
 /// Full run configuration (paper defaults via [`Default`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,7 +85,7 @@ pub struct RunReport {
     /// Actual makespan (max `AFT`; paper Eq. 4).
     pub makespan: f64,
     /// Predicted makespan of the initial schedule (the static baseline's
-    /// final answer under exact estimates).
+    /// final answer under exact estimates; `0.0` for JIT policies).
     pub initial_predicted: f64,
     /// Planner evaluations performed.
     pub evaluations: usize,
@@ -174,10 +181,11 @@ impl<'a> Sim<'a> {
     }
 
     /// Resources joining: extend pool, cost table and executor bookkeeping,
-    /// then arm the next pool-change event.
-    fn handle_join(&mut self, count: u32) -> Vec<ResourceId> {
+    /// then arm the next pool-change event. Returns how many actually
+    /// joined (the pool cap may truncate the batch).
+    fn handle_join(&mut self, count: u32) -> usize {
         let clock = self.clock();
-        let mut ids = Vec::with_capacity(count as usize);
+        let mut joined = 0usize;
         for _ in 0..count {
             if self.pool.total() >= self.dynamics.max_size {
                 break;
@@ -187,9 +195,9 @@ impl<'a> Sim<'a> {
             let cid = self.costs.add_resource(&column).expect("column matches job count");
             debug_assert_eq!(id, cid);
             self.running_on.push(None);
-            ids.push(id);
+            joined += 1;
         }
-        self.trace.push(TraceEvent::ResourcesJoined { t: clock, count: ids.len() as u32 });
+        self.trace.push(TraceEvent::ResourcesJoined { t: clock, count: joined as u32 });
         if let Some(interval) = self.dynamics.interval {
             if self.pool.total() < self.dynamics.max_size {
                 self.engine.schedule_in(
@@ -198,7 +206,7 @@ impl<'a> Sim<'a> {
                 );
             }
         }
-        ids
+        joined
     }
 
     /// Initiate (or skip, when redundant) the transfer of edge `e`'s data
@@ -300,369 +308,205 @@ impl<'a> Sim<'a> {
 }
 
 // ---------------------------------------------------------------------------
-// Plan-driven execution (static HEFT and adaptive AHEFT)
+// The policy-facing fabric handle
 // ---------------------------------------------------------------------------
 
-/// Per-resource execution queues derived from the current plan.
-struct PlanQueues {
-    queues: Vec<Vec<Assignment>>,
-    next: Vec<usize>,
+/// Everything a [`SchedulingPolicy`] may read or do on the simulation
+/// fabric — and nothing it may not: the event queue, the pool membership
+/// bookkeeping and the RNG stay owned by the pump, so no policy can
+/// perturb the shared grid another policy would see under the same seed.
+pub struct ExecCtx<'s, 'a> {
+    sim: &'s mut Sim<'a>,
 }
 
-impl PlanQueues {
-    fn from_plan(plan: &Plan, total_resources: usize) -> Self {
-        let queues = plan.resource_queues(total_resources);
-        let next = vec![0; queues.len()];
-        Self { queues, next }
+/// The borrowed planner-evaluation inputs prepared by
+/// [`ExecCtx::eval_view`]: a dense zero-copy snapshot of the execution
+/// state, the alive pool, and the problem description.
+pub struct PlannerView<'v> {
+    /// Execution state at the current clock (availability floors = clock).
+    pub view: SnapshotView<'v>,
+    /// Resources currently alive, in id order.
+    pub alive: &'v [ResourceId],
+    /// The workflow DAG.
+    pub dag: &'v Dag,
+    /// The current cost table (initial + joined columns).
+    pub costs: &'v CostTable,
+}
+
+impl<'s, 'a> ExecCtx<'s, 'a> {
+    /// Current simulation time.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.sim.clock()
+    }
+
+    /// The workflow DAG (borrowed for the whole run, not from the ctx).
+    #[inline]
+    pub fn dag(&self) -> &'a Dag {
+        self.sim.dag
+    }
+
+    /// The current cost table: initial columns plus one per joined
+    /// resource.
+    #[inline]
+    pub fn costs(&self) -> &CostTable {
+        &self.sim.costs
+    }
+
+    /// The execution state (job lifecycle + transfer ledger).
+    #[inline]
+    pub fn state(&self) -> &ExecState {
+        &self.sim.state
+    }
+
+    /// Total resources ever in the pool (alive + departed).
+    #[inline]
+    pub fn pool_total(&self) -> usize {
+        self.sim.pool.total()
+    }
+
+    /// True if `r` is currently in the pool.
+    #[inline]
+    pub fn resource_alive(&self, r: ResourceId) -> bool {
+        self.sim.pool.resource(r).alive()
+    }
+
+    /// The job currently running on `r`, if any.
+    #[inline]
+    pub fn running_on(&self, r: ResourceId) -> Option<JobId> {
+        self.sim.running_on[r.idx()]
+    }
+
+    /// True when every job has finished.
+    #[inline]
+    pub fn all_finished(&self) -> bool {
+        self.sim.state.all_finished()
+    }
+
+    /// Start `job` on `r` now (the resource must be idle and alive).
+    pub fn start_job(&mut self, job: JobId, r: ResourceId) {
+        self.sim.start_job(job, r);
+    }
+
+    /// Initiate (or skip, when redundant) the transfer of edge `e`'s data
+    /// from `from` to `to`.
+    pub fn send_transfer(&mut self, producer: JobId, e: EdgeId, from: ResourceId, to: ResourceId) {
+        self.sim.send_transfer(producer, e, from, to);
+    }
+
+    /// Abort a running job (no-op if it is not running).
+    pub fn abort_job(&mut self, job: JobId) {
+        self.sim.abort_job(job);
+    }
+
+    /// Emit a performance-variance planner notification at the current
+    /// clock (delivered back through [`SchedulingPolicy::on_event`]).
+    pub fn emit_variance(&mut self, job: JobId, resource: ResourceId) {
+        let clock = self.sim.clock();
+        self.sim.engine.schedule(SimTime::new(clock), Event::PerformanceVariance { job, resource });
+    }
+
+    /// Arm a [`PolicyEvent::Wake`] `delay` time units from now (periodic
+    /// rescheduling policies).
+    pub fn schedule_wake_in(&mut self, delay: f64) {
+        self.sim.engine.schedule_in(delay, Event::Wake);
+    }
+
+    /// Append a policy-level record (plan kept/replaced) to the trace.
+    pub fn push_trace(&mut self, ev: TraceEvent) {
+        self.sim.trace.push(ev);
+    }
+
+    /// Prepare the planner-evaluation inputs at the current clock: the
+    /// alive set and the per-resource availability floors are refreshed in
+    /// the fabric's reusable scratch buffers (nothing is allocated after
+    /// warm-up). Returns `None` when the pool is empty — nothing to
+    /// schedule on until it recovers.
+    pub fn eval_view(&mut self) -> Option<PlannerView<'_>> {
+        let clock = self.sim.clock();
+        self.sim.pool.alive_into(&mut self.sim.alive_scratch);
+        if self.sim.alive_scratch.is_empty() {
+            return None;
+        }
+        self.sim.avail_scratch.clear();
+        self.sim.avail_scratch.resize(self.sim.pool.total(), clock);
+        Some(PlannerView {
+            view: self.sim.state.view(clock, &self.sim.avail_scratch),
+            alive: &self.sim.alive_scratch,
+            dag: self.sim.dag,
+            costs: &self.sim.costs,
+        })
     }
 }
 
-fn run_planned(
+// ---------------------------------------------------------------------------
+// The one event pump
+// ---------------------------------------------------------------------------
+
+/// Execute `dag` under `policy` — the single event-pump implementation
+/// every strategy runs on.
+///
+/// The pump applies each event's fabric-level effects (job completion
+/// bookkeeping, pool membership, aborting the running job of a departed
+/// resource, transfer arrivals) and then hands a [`PolicyEvent`] to the
+/// policy; between events it calls
+/// [`SchedulingPolicy::dispatch_ready`] so the policy can map and start
+/// work. `costs` must have exactly `dynamics.initial` columns; `seed`
+/// drives the cost columns of late-arriving resources (and noisy runtime
+/// draws under [`ActualModel::Noisy`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_policy(
     dag: &Dag,
     costs: &CostTable,
     costgen: &CostGenerator,
     dynamics: &PoolDynamics,
     seed: u64,
     cfg: &RunConfig,
-    adaptive: bool,
+    policy: &mut dyn SchedulingPolicy,
 ) -> RunReport {
     let mut sim = Sim::new(dag, costs, costgen, dynamics, seed, cfg);
-    let policy = if adaptive { cfg.policy } else { ReschedulePolicy::Never };
-    let mut planner = AdaptivePlanner::new(cfg.aheft, policy);
-    let initial = planner.initial_plan(dag, &sim.costs);
-    let initial_predicted = initial.predicted_makespan;
-    let mut plan = initial.plan;
-    let mut queues = PlanQueues::from_plan(&plan, sim.pool.total());
-    let mut reschedules = 0usize;
-    // Set when a failure left the current plan unexecutable (e.g. the pool
-    // emptied) and the replan must be retried at the next pool change.
-    let mut pending_forced = false;
-
-    if let ReschedulePolicy::Periodic { period } = policy {
-        sim.engine.schedule(SimTime::new(period), Event::Wake);
-    }
-
-    try_start_planned(&mut sim, &queues.queues, &mut queues.next);
-    while !sim.state.all_finished() {
-        let Some((_, ev)) = sim.engine.pop() else { sim.deadlock() };
-        match ev {
-            Event::JobFinished { job } => {
-                let (r, deviation) = sim.finish_job(job);
-                // §4.1 assumption 2 (static strategies): push outputs
-                // immediately to where successors are planned.
-                for &(s, e) in sim.dag.succs(job) {
-                    if !sim.state.is_finished(s) {
-                        if let Some(rs) = plan.resource_of(s) {
-                            sim.send_transfer(job, e, r, rs);
-                        }
-                    }
-                }
-                if let Some(threshold) = cfg.variance_threshold {
-                    if deviation > threshold {
-                        let clock = sim.clock();
-                        sim.engine.schedule(
-                            SimTime::new(clock),
-                            Event::PerformanceVariance { job, resource: r },
-                        );
-                    }
-                }
-            }
-            Event::TransferArrived { .. } => { /* ledger updated at send time */ }
-            Event::ResourcesJoined { count } => {
-                sim.handle_join(count);
-                if pending_forced {
-                    pending_forced = !evaluate_and_maybe_replace(
-                        &mut sim,
-                        &mut planner,
-                        &mut plan,
-                        &mut queues,
-                        &mut reschedules,
-                        true,
-                    );
-                } else if planner.should_evaluate(&ev) {
-                    evaluate_and_maybe_replace(
-                        &mut sim,
-                        &mut planner,
-                        &mut plan,
-                        &mut queues,
-                        &mut reschedules,
-                        false,
-                    );
-                }
-            }
-            Event::ResourceLeft { resource } => {
-                sim.pool.leave(resource, sim.clock());
-                if let Some(job) = sim.running_on[resource.idx()] {
-                    sim.abort_job(job);
-                }
-                // Fault tolerance by rescheduling — the paper notes HEFT and
-                // AHEFT "react identically to the resource failure", so the
-                // replacement is forced for both planned strategies. If the
-                // pool emptied, retry at the next pool change.
-                pending_forced = !evaluate_and_maybe_replace(
-                    &mut sim,
-                    &mut planner,
-                    &mut plan,
-                    &mut queues,
-                    &mut reschedules,
-                    true,
-                );
-            }
-            Event::PerformanceVariance { .. } | Event::Wake => {
-                if planner.should_evaluate(&ev) {
-                    evaluate_and_maybe_replace(
-                        &mut sim,
-                        &mut planner,
-                        &mut plan,
-                        &mut queues,
-                        &mut reschedules,
-                        false,
-                    );
-                }
-                if let (Event::Wake, ReschedulePolicy::Periodic { period }) = (&ev, &policy) {
-                    if !sim.state.all_finished() {
-                        sim.engine.schedule_in(*period, Event::Wake);
-                    }
-                }
-            }
-        }
-        try_start_planned(&mut sim, &queues.queues, &mut queues.next);
-    }
-
-    sim.report(initial_predicted, planner.evaluations(), reschedules)
-}
-
-/// Start every queue-head job whose inputs are on its resource.
-fn try_start_planned(sim: &mut Sim<'_>, queues: &[Vec<Assignment>], next: &mut [usize]) {
-    let clock = sim.clock();
-    for r in 0..queues.len() {
-        if sim.running_on[r].is_some() {
-            continue;
-        }
-        let rid = ResourceId::from(r);
-        if !sim.pool.resource(rid).alive() {
-            continue;
-        }
-        let q = &queues[r];
-        // Skip entries that finished under an older plan epoch (defensive;
-        // replacement plans only contain unfinished jobs).
-        while next[r] < q.len() && sim.state.is_finished(q[next[r]].job) {
-            next[r] += 1;
-        }
-        if next[r] >= q.len() {
-            continue;
-        }
-        let a = q[next[r]];
-        if sim.state.is_waiting(a.job) && sim.state.inputs_ready_on(sim.dag, a.job, rid, clock) {
-            sim.start_job(a.job, rid);
-        }
-    }
-}
-
-/// One planner evaluation; on acceptance, swap the plan, abort running jobs
-/// when the config reschedules them, and re-route finished outputs to the
-/// new consumer placements (FEA Case 2 retransmissions).
-fn evaluate_and_maybe_replace(
-    sim: &mut Sim<'_>,
-    planner: &mut AdaptivePlanner,
-    plan: &mut Plan,
-    queues: &mut PlanQueues,
-    reschedules: &mut usize,
-    forced: bool,
-) -> bool {
-    let clock = sim.clock();
-    sim.pool.alive_into(&mut sim.alive_scratch);
-    if sim.alive_scratch.is_empty() {
-        return false; // nothing to schedule on; wait for the pool to recover
-    }
-    // Borrowed dense view of the execution state — no snapshot cloning.
-    sim.avail_scratch.clear();
-    sim.avail_scratch.resize(sim.pool.total(), clock);
-    let old_predicted = planner.current_predicted();
-    let decision = {
-        let view = sim.state.view(clock, &sim.avail_scratch);
-        planner.evaluate(sim.dag, &sim.costs, view, &sim.alive_scratch)
-    };
-    let accept = match (&decision, forced) {
-        (Decision::Replace(_), _) => true,
-        (Decision::Keep { .. }, true) => true,
-        (Decision::Keep { .. }, false) => false,
-    };
-    if !accept {
-        if let Decision::Keep { candidate_makespan } = decision {
-            sim.trace.push(TraceEvent::PlanKept {
-                t: clock,
-                current_makespan: old_predicted,
-                candidate_makespan,
-            });
-        }
-        return false;
-    }
-    // A forced (failure) replacement adopts the just-evaluated candidate —
-    // the kept plan may use a dead resource — straight from the planner's
-    // workspace, without rebuilding the snapshot or re-running the
-    // scheduler (the pass is deterministic, so the outcome is identical).
-    let outcome = match decision {
-        Decision::Replace(out) => out,
-        Decision::Keep { .. } => planner.last_candidate_outcome().expect("an evaluation just ran"),
-    };
-    // Abort running jobs that the new plan re-places.
-    if planner.config.reschedulable == ReschedulableSet::AllUnfinished {
-        let running: Vec<JobId> = sim
-            .dag
-            .job_ids()
-            .filter(|&j| {
-                matches!(sim.state.state(j), aheft_gridsim::executor::JobState::Running { .. })
-                    && outcome.plan.assignment(j).is_some()
-            })
-            .collect();
-        for job in running {
-            sim.abort_job(job);
-        }
-    }
-    sim.trace.push(TraceEvent::PlanReplaced {
-        t: clock,
-        old_makespan: old_predicted,
-        new_makespan: outcome.predicted_makespan,
-    });
-    *plan = outcome.plan;
-    *queues = PlanQueues::from_plan(plan, sim.pool.total());
-    *reschedules += 1;
-    // Re-route finished producers' outputs to the new consumer placements.
-    let mut transfers: Vec<(JobId, EdgeId, ResourceId, ResourceId)> = Vec::new();
-    for a in plan.assignments() {
-        for &(p, e) in sim.dag.preds(a.job) {
-            if let Some((rp, _)) = sim.state.finished_on(p) {
-                transfers.push((p, e, rp, a.resource));
-            }
-        }
-    }
-    for (p, e, from, to) in transfers {
-        sim.send_transfer(p, e, from, to);
-    }
-    true
-}
-
-// ---------------------------------------------------------------------------
-// Dynamic just-in-time execution (Min-Min and friends)
-// ---------------------------------------------------------------------------
-
-fn run_dynamic_loop(
-    dag: &Dag,
-    costs: &CostTable,
-    costgen: &CostGenerator,
-    dynamics: &PoolDynamics,
-    seed: u64,
-    cfg: &RunConfig,
-    heuristic: DynamicHeuristic,
-) -> RunReport {
-    let mut sim = Sim::new(dag, costs, costgen, dynamics, seed, cfg);
-    let mut assigned: Vec<Option<ResourceId>> = vec![None; dag.job_count()];
-    let mut fifo: Vec<Vec<JobId>> = vec![Vec::new(); sim.pool.total()];
-    let mut fifo_next: Vec<usize> = vec![0; sim.pool.total()];
-    // Dense resource-indexed busy-until floor (None = departed resource).
-    let mut avail: Vec<Option<f64>> = vec![Some(0.0); sim.pool.total()];
-
+    let initial_predicted = policy.initial_plan(&mut ExecCtx { sim: &mut sim });
     loop {
-        // Map newly ready jobs (just-in-time local decisions).
-        let ready: Vec<JobId> = dag
-            .job_ids()
-            .filter(|&j| {
-                assigned[j.idx()].is_none()
-                    && sim.state.is_waiting(j)
-                    && dag.preds(j).iter().all(|&(p, _)| sim.state.is_finished(p))
-            })
-            .collect();
-        if !ready.is_empty() {
-            let clock = sim.clock();
-            // Refresh availability floor: nothing can start in the past.
-            for a in avail.iter_mut().flatten() {
-                *a = a.max(clock);
-            }
-            let batch =
-                select_batch(dag, &sim.costs, &sim.state, clock, &mut avail, &ready, heuristic);
-            for (job, r, _ct) in batch {
-                assigned[job.idx()] = Some(r);
-                fifo[r.idx()].push(job);
-                // §4.1 assumption 2 (dynamic): transfers start only now that
-                // the executor has picked the resource.
-                let transfers: Vec<(JobId, EdgeId, ResourceId)> = dag
-                    .preds(job)
-                    .iter()
-                    .filter_map(|&(p, e)| sim.state.finished_on(p).map(|(rp, _)| (p, e, rp)))
-                    .collect();
-                for (p, e, rp) in transfers {
-                    sim.send_transfer(p, e, rp, r);
-                }
-            }
-        }
-
-        // Start whatever is startable.
-        let clock = sim.clock();
-        for r in 0..fifo.len() {
-            if sim.running_on[r].is_some() {
-                continue;
-            }
-            let rid = ResourceId::from(r);
-            if !sim.pool.resource(rid).alive() {
-                continue;
-            }
-            while fifo_next[r] < fifo[r].len() && sim.state.is_finished(fifo[r][fifo_next[r]]) {
-                fifo_next[r] += 1;
-            }
-            if fifo_next[r] >= fifo[r].len() {
-                continue;
-            }
-            let job = fifo[r][fifo_next[r]];
-            if sim.state.is_waiting(job) && sim.state.inputs_ready_on(dag, job, rid, clock) {
-                sim.start_job(job, rid);
-            }
-        }
-
+        policy.dispatch_ready(&mut ExecCtx { sim: &mut sim });
         if sim.state.all_finished() {
             break;
         }
         let Some((_, ev)) = sim.engine.pop() else { sim.deadlock() };
-        match ev {
+        let pe = match ev {
             Event::JobFinished { job } => {
-                sim.finish_job(job);
+                let (resource, deviation) = sim.finish_job(job);
+                PolicyEvent::JobFinished { job, resource, deviation }
             }
-            Event::TransferArrived { .. } => {}
+            Event::TransferArrived { producer, to } => {
+                // The ledger was updated at send time; arrival only wakes
+                // the dispatch loop.
+                PolicyEvent::TransferArrived { producer, to }
+            }
             Event::ResourcesJoined { count } => {
-                let clock = sim.clock();
-                for id in sim.handle_join(count) {
-                    debug_assert_eq!(id.idx(), avail.len());
-                    fifo.push(Vec::new());
-                    fifo_next.push(0);
-                    avail.push(Some(clock));
-                }
+                let joined = sim.handle_join(count);
+                PolicyEvent::PoolGrew { joined }
             }
             Event::ResourceLeft { resource } => {
                 sim.pool.leave(resource, sim.clock());
-                avail[resource.idx()] = None;
-                if let Some(job) = sim.running_on[resource.idx()] {
+                let aborted = sim.running_on[resource.idx()];
+                if let Some(job) = aborted {
                     sim.abort_job(job);
-                    assigned[job.idx()] = None; // will be re-mapped when ready
                 }
-                // Unstarted jobs queued on the dead resource are re-mapped.
-                let rid = resource.idx();
-                for &job in &fifo[rid][fifo_next[rid]..] {
-                    if sim.state.is_waiting(job) {
-                        assigned[job.idx()] = None;
-                    }
-                }
-                fifo[rid].clear();
-                fifo_next[rid] = 0;
+                PolicyEvent::ResourceLeft { resource, aborted }
             }
-            Event::PerformanceVariance { .. } | Event::Wake => {}
-        }
+            Event::PerformanceVariance { job, resource } => {
+                PolicyEvent::PerformanceVariance { job, resource }
+            }
+            Event::Wake => PolicyEvent::Wake,
+        };
+        policy.on_event(&pe, &mut ExecCtx { sim: &mut sim });
     }
-
-    sim.report(0.0, 0, 0)
+    let stats = policy.stats();
+    sim.report(initial_predicted, stats.evaluations, stats.reschedules)
 }
 
 // ---------------------------------------------------------------------------
-// Public entry points
+// Public entry points (wrappers over concrete policies)
 // ---------------------------------------------------------------------------
 
 /// Execute `dag` with traditional static HEFT under `dynamics`.
@@ -676,7 +520,7 @@ pub fn run_static_heft(
     dynamics: &PoolDynamics,
     seed: u64,
 ) -> RunReport {
-    run_planned(dag, costs, costgen, dynamics, seed, &RunConfig::default(), false)
+    run_static_heft_with(dag, costs, costgen, dynamics, seed, &RunConfig::default())
 }
 
 /// As [`run_static_heft`] with an explicit configuration (slot policy,
@@ -689,7 +533,8 @@ pub fn run_static_heft_with(
     seed: u64,
     cfg: &RunConfig,
 ) -> RunReport {
-    run_planned(dag, costs, costgen, dynamics, seed, cfg, false)
+    let mut policy = PlannedPolicy::static_heft(cfg);
+    run_policy(dag, costs, costgen, dynamics, seed, cfg, &mut policy)
 }
 
 /// Execute `dag` with the paper's adaptive rescheduling strategy (AHEFT).
@@ -700,7 +545,7 @@ pub fn run_aheft(
     dynamics: &PoolDynamics,
     seed: u64,
 ) -> RunReport {
-    run_planned(dag, costs, costgen, dynamics, seed, &RunConfig::default(), true)
+    run_aheft_with(dag, costs, costgen, dynamics, seed, &RunConfig::default())
 }
 
 /// As [`run_aheft`] with an explicit configuration.
@@ -712,7 +557,8 @@ pub fn run_aheft_with(
     seed: u64,
     cfg: &RunConfig,
 ) -> RunReport {
-    run_planned(dag, costs, costgen, dynamics, seed, cfg, true)
+    let mut policy = PlannedPolicy::adaptive(cfg);
+    run_policy(dag, costs, costgen, dynamics, seed, cfg, &mut policy)
 }
 
 /// Execute `dag` with a dynamic just-in-time strategy.
@@ -724,10 +570,11 @@ pub fn run_dynamic(
     seed: u64,
     heuristic: DynamicHeuristic,
 ) -> RunReport {
-    run_dynamic_loop(dag, costs, costgen, dynamics, seed, &RunConfig::default(), heuristic)
+    run_dynamic_with(dag, costs, costgen, dynamics, seed, &RunConfig::default(), heuristic)
 }
 
 /// As [`run_dynamic`] with an explicit configuration.
+#[allow(clippy::too_many_arguments)]
 pub fn run_dynamic_with(
     dag: &Dag,
     costs: &CostTable,
@@ -737,12 +584,14 @@ pub fn run_dynamic_with(
     cfg: &RunConfig,
     heuristic: DynamicHeuristic,
 ) -> RunReport {
-    run_dynamic_loop(dag, costs, costgen, dynamics, seed, cfg, heuristic)
+    let mut policy = JitPolicy::heuristic(heuristic);
+    run_policy(dag, costs, costgen, dynamics, seed, cfg, &mut policy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aheft::ReschedulableSet;
     use aheft_workflow::generators::random::{generate, RandomDagParams};
     use aheft_workflow::sample;
     use rand::rngs::StdRng;
@@ -792,7 +641,7 @@ mod tests {
         // Pinning running jobs evaluates a candidate of exactly 80.
         let cfg = RunConfig {
             aheft: AheftConfig {
-                reschedulable: crate::aheft::ReschedulableSet::NotStarted,
+                reschedulable: ReschedulableSet::NotStarted,
                 ..Default::default()
             },
             ..Default::default()

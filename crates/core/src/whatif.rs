@@ -72,6 +72,25 @@ pub fn what_if(
     what_if_with(dag, costs, snapshot, alive, config, query, &mut ws)
 }
 
+/// Answer `query` under a *named* planned policy (see
+/// [`crate::policy::POLICY_NAMES`]): the hypothetical pools are evaluated
+/// with exactly the scheduling configuration that policy plans with under
+/// `cfg` (slot policy, reschedulable set) — the same derivation
+/// [`crate::policy::make_policy`] uses. Returns `None` for JIT policies —
+/// they keep no plan to hypothesise about — and unknown names.
+pub fn what_if_policy(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    policy_name: &str,
+    cfg: &crate::runner::RunConfig,
+    query: &WhatIfQuery,
+) -> Option<WhatIfReport> {
+    let config = crate::policy::planning_config(policy_name, cfg)?;
+    Some(what_if(dag, costs, snapshot, alive, &config, query))
+}
+
 /// As [`what_if`], reusing a caller-provided [`ScheduleWorkspace`] across
 /// both scheduling passes (and across repeated queries).
 pub fn what_if_with(
@@ -204,6 +223,74 @@ mod tests {
         // Rank order may shift, but the schedule cannot be forced onto the
         // slow resource; allow small regressions only.
         assert!(report.hypothetical_makespan <= report.baseline_makespan * 1.25);
+    }
+
+    #[test]
+    fn named_policy_queries_use_their_planning_config() {
+        use crate::runner::RunConfig;
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let cfg = RunConfig::default();
+        let query = WhatIfQuery::AddResources { columns: vec![sample::fig4_r4_column()] };
+        // Planned policies answer; the ablation variant evaluates under
+        // its own (end-of-queue) slot policy and may differ from AHEFT's.
+        let aheft =
+            what_if_policy(&dag, &costs, &Snapshot::initial(3), &alive(3), "aheft", &cfg, &query)
+                .expect("planned policy");
+        assert!((aheft.baseline_makespan - 80.0).abs() < 1e-9);
+        let noinsert = what_if_policy(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            "aheft-noinsert",
+            &cfg,
+            &query,
+        )
+        .expect("planned policy");
+        assert!(noinsert.baseline_makespan >= 80.0 - 1e-9);
+        // The caller's scheduling config flows through: "aheft" with an
+        // end-of-queue cfg must answer exactly like "aheft-noinsert" with
+        // the default cfg (same derivation as make_policy).
+        let eoq_cfg = RunConfig {
+            aheft: crate::aheft::AheftConfig {
+                slot_policy: crate::SlotPolicy::EndOfQueue,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let aheft_eoq = what_if_policy(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            "aheft",
+            &eoq_cfg,
+            &query,
+        )
+        .expect("planned policy");
+        assert_eq!(
+            aheft_eoq.hypothetical_makespan.to_bits(),
+            noinsert.hypothetical_makespan.to_bits()
+        );
+        // JIT policies keep no plan: no hypothetical to evaluate.
+        for jit in ["minmin", "ranked-jit"] {
+            assert!(
+                what_if_policy(&dag, &costs, &Snapshot::initial(3), &alive(3), jit, &cfg, &query)
+                    .is_none(),
+                "{jit} must not answer what-if queries"
+            );
+        }
+        assert!(what_if_policy(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            "bogus",
+            &cfg,
+            &query
+        )
+        .is_none());
     }
 
     #[test]

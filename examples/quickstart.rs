@@ -53,4 +53,25 @@ fn main() {
         aheft.reschedules,
         improvement_rate(heft.makespan, aheft.makespan) * 100.0
     );
+
+    // The same engine runs every registered policy — the three above are
+    // just named entries of the registry (`experiments --policy ...`).
+    println!("\n  full policy registry on the same grid:");
+    for name in POLICY_NAMES {
+        let report = run_named_policy(
+            name,
+            &wf.dag,
+            &costs,
+            &wf.costgen,
+            &dynamics,
+            seed,
+            &aheft::core::runner::RunConfig::default(),
+        )
+        .expect("registered policy");
+        println!(
+            "  {name:<15} {:>8.0}  ({:+.1}% vs HEFT)",
+            report.makespan,
+            improvement_rate(heft.makespan, report.makespan) * 100.0
+        );
+    }
 }

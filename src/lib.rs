@@ -32,6 +32,14 @@
 //! let heft = run_static_heft(&wf.dag, &costs, &wf.costgen, &dynamics, 1);
 //! let aheft = run_aheft(&wf.dag, &costs, &wf.costgen, &dynamics, 1);
 //! assert!(aheft.makespan <= heft.makespan + 1e-9);
+//!
+//! // Every strategy is a named `SchedulingPolicy` on one generic event
+//! // pump; the registry also carries ablation and hybrid policies.
+//! let hybrid = run_named_policy(
+//!     "ranked-jit", &wf.dag, &costs, &wf.costgen, &dynamics, 1,
+//!     &aheft::core::runner::RunConfig::default(),
+//! ).expect("registered policy");
+//! assert!(hybrid.makespan > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -46,9 +54,10 @@ pub mod prelude {
     pub use aheft_core::aheft::AheftConfig;
     pub use aheft_core::heft::{heft_schedule, HeftConfig};
     pub use aheft_core::metrics::{improvement_rate, schedule_length_ratio};
-    pub use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft, RunReport};
+    pub use aheft_core::policy::{run_named_policy, SchedulingPolicy, POLICY_NAMES};
+    pub use aheft_core::runner::{run_aheft, run_dynamic, run_policy, run_static_heft, RunReport};
     pub use aheft_core::schedule::Schedule;
-    pub use aheft_core::whatif::{what_if, WhatIfQuery};
+    pub use aheft_core::whatif::{what_if, what_if_policy, WhatIfQuery};
     pub use aheft_core::{DynamicHeuristic, SlotPolicy};
     pub use aheft_gridsim::pool::PoolDynamics;
     pub use aheft_workflow::generators::blast::AppDagParams;

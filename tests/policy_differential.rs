@@ -1,0 +1,246 @@
+//! Differential gate for the policy-generic engine refactor (ISSUE 5).
+//!
+//! The tentpole collapsed `run_planned` + `run_dynamic_loop` into ONE
+//! generic `run_policy` event pump driving pluggable [`SchedulingPolicy`]
+//! implementations. This suite pins that the rework is behaviour-preserving
+//! **bit for bit**: the golden fingerprints below were captured from the
+//! pre-refactor entry points (commit 413c3d4) over a seed grid covering all
+//! three paper strategies, both reschedulable-set modes, both slot
+//! policies, periodic/variance triggers, failure injection and the extra
+//! dynamic heuristics.
+//!
+//! A fingerprint folds every observable of a [`RunReport`]: makespan and
+//! initial-prediction f64 *bits*, evaluation/reschedule/abort counters,
+//! final pool size, processed event count, and an FNV-1a hash over the full
+//! execution trace (`record_trace = true`), so even a reordering of two
+//! same-timestamp trace records fails the gate.
+//!
+//! To regenerate after an *intentional* semantic change, run
+//! `GOLDEN_PRINT=1 cargo test --test policy_differential -- --nocapture`
+//! and replace the `GOLDEN` table.
+
+use aheft::core::aheft::{AheftConfig, ReschedulableSet};
+use aheft::core::planner::ReschedulePolicy;
+use aheft::core::runner::{
+    run_aheft_with, run_dynamic_with, run_static_heft_with, RunConfig, RunReport,
+};
+use aheft::core::{DynamicHeuristic, SlotPolicy};
+use aheft::gridsim::fault::FailureModel;
+use aheft::gridsim::predictor::ActualModel;
+use aheft::prelude::*;
+use aheft::workflow::generators::random::{generate, RandomDagParams};
+use aheft::workflow::sample;
+use aheft::workflow::CostGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a over the debug rendering of every trace record, in order.
+fn trace_hash(report: &RunReport) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for ev in report.trace.events() {
+        for b in format!("{ev:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Every observable of a run, folded into a comparable string.
+fn fingerprint(report: &RunReport) -> String {
+    format!(
+        "mk={:016x} ip={:016x} ev={} rs={} ab={} pool={} events={} trace={:016x}",
+        report.makespan.to_bits(),
+        report.initial_predicted.to_bits(),
+        report.evaluations,
+        report.reschedules,
+        report.aborted_jobs,
+        report.final_pool_size,
+        report.events_processed,
+        trace_hash(report)
+    )
+}
+
+fn random_grid(
+    jobs: usize,
+    ccr: f64,
+    resources: usize,
+    seed: u64,
+) -> (Dag, CostTable, CostGenerator) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = RandomDagParams { jobs, ccr, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(resources, &mut rng);
+    (wf.dag, costs, wf.costgen)
+}
+
+fn traced(cfg: RunConfig) -> RunConfig {
+    RunConfig { record_trace: true, ..cfg }
+}
+
+/// Run every golden scenario, producing `(label, fingerprint)` in a fixed
+/// order. The labels both document the scenario and key the comparison.
+fn compute_fingerprints() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let base = traced(RunConfig::default());
+
+    // --- paper strategies over a random grid (growth dynamics) ----------
+    for &ccr in &[0.8, 5.0] {
+        for seed in 0..3u64 {
+            let (dag, costs, costgen) = random_grid(25, ccr, 4, seed);
+            let dynamics = PoolDynamics::periodic_growth(4, 300.0, 0.25);
+            let label = |s: &str| format!("{s}/ccr{ccr}/seed{seed}");
+            let h = run_static_heft_with(&dag, &costs, &costgen, &dynamics, seed, &base);
+            out.push((label("heft"), fingerprint(&h)));
+            let a = run_aheft_with(&dag, &costs, &costgen, &dynamics, seed, &base);
+            out.push((label("aheft"), fingerprint(&a)));
+            for (name, heur) in [
+                ("minmin", DynamicHeuristic::MinMin),
+                ("maxmin", DynamicHeuristic::MaxMin),
+                ("sufferage", DynamicHeuristic::Sufferage),
+            ] {
+                let d = run_dynamic_with(&dag, &costs, &costgen, &dynamics, seed, &base, heur);
+                out.push((label(name), fingerprint(&d)));
+            }
+        }
+    }
+
+    // --- configuration variants the new named policies must reproduce ---
+    {
+        let (dag, costs, costgen) = random_grid(25, 0.8, 4, 1);
+        let dynamics = PoolDynamics::periodic_growth(4, 300.0, 0.25);
+        let pin = traced(RunConfig {
+            aheft: AheftConfig {
+                reschedulable: ReschedulableSet::NotStarted,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let r = run_aheft_with(&dag, &costs, &costgen, &dynamics, 1, &pin);
+        out.push(("aheft-pin/ccr0.8/seed1".into(), fingerprint(&r)));
+        let noinsert = traced(RunConfig {
+            aheft: AheftConfig { slot_policy: SlotPolicy::EndOfQueue, ..Default::default() },
+            ..Default::default()
+        });
+        let r = run_aheft_with(&dag, &costs, &costgen, &dynamics, 1, &noinsert);
+        out.push(("aheft-noinsert/ccr0.8/seed1".into(), fingerprint(&r)));
+        let periodic = traced(RunConfig {
+            policy: ReschedulePolicy::Periodic { period: 200.0 },
+            ..Default::default()
+        });
+        let r = run_aheft_with(&dag, &costs, &costgen, &dynamics, 1, &periodic);
+        out.push(("aheft-periodic200/ccr0.8/seed1".into(), fingerprint(&r)));
+    }
+
+    // --- noisy execution + performance-variance notifications -----------
+    {
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let costgen = CostGenerator::new(sample::fig4_r4_column(), 0.0).unwrap();
+        let cfg = traced(RunConfig {
+            actual: ActualModel::Noisy { spread: 0.4 },
+            variance_threshold: Some(0.2),
+            policy: ReschedulePolicy::OnAnyPlannerEvent,
+            ..Default::default()
+        });
+        for seed in [7u64, 8] {
+            let r = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), seed, &cfg);
+            out.push((format!("aheft-noisy/seed{seed}"), fingerprint(&r)));
+            // Static under a Never trigger still *processes* variance events.
+            let s =
+                run_static_heft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), seed, &cfg);
+            out.push((format!("heft-noisy/seed{seed}"), fingerprint(&s)));
+        }
+    }
+
+    // --- failure injection: forced replans, pending_forced retry --------
+    {
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let costgen = CostGenerator::new(sample::fig4_r4_column(), 0.0).unwrap();
+        let dynamics = PoolDynamics::periodic_growth(3, 50.0, 1.0 / 3.0);
+        let cfg = traced(RunConfig {
+            failures: FailureModel::UniformOnce { prob: 0.5, horizon: 40.0 },
+            ..Default::default()
+        });
+        for seed in 0..4u64 {
+            let a = run_aheft_with(&dag, &costs, &costgen, &dynamics, seed, &cfg);
+            out.push((format!("aheft-fail/seed{seed}"), fingerprint(&a)));
+            let h = run_static_heft_with(&dag, &costs, &costgen, &dynamics, seed, &cfg);
+            out.push((format!("heft-fail/seed{seed}"), fingerprint(&h)));
+            // (No dynamic runs here: the JIT mapper requires an alive pool,
+            // and this failure model can empty it — a pre-existing
+            // limitation shared by the pre- and post-refactor engines.)
+        }
+    }
+
+    out
+}
+
+/// `(label, fingerprint)` pairs captured from the pre-refactor runner.
+const GOLDEN: &[(&str, &str)] = &[
+    ("heft/ccr0.8/seed0", "mk=40886cf351dd9fcc ip=40886cf351dd9fcc ev=0 rs=0 ab=0 pool=6 events=62 trace=0f0a0a61c5b31db2"),
+    ("aheft/ccr0.8/seed0", "mk=40886cf351dd9fcc ip=40886cf351dd9fcc ev=2 rs=0 ab=0 pool=6 events=62 trace=70e487c5a4a1e68f"),
+    ("minmin/ccr0.8/seed0", "mk=408fdb3a15e3e2a7 ip=0000000000000000 ev=0 rs=0 ab=0 pool=7 events=62 trace=16a997ca56d95617"),
+    ("maxmin/ccr0.8/seed0", "mk=409072c63a8faee2 ip=0000000000000000 ev=0 rs=0 ab=0 pool=7 events=67 trace=37c81b3e22d95c5d"),
+    ("sufferage/ccr0.8/seed0", "mk=408ec4c07ec61737 ip=0000000000000000 ev=0 rs=0 ab=0 pool=7 events=69 trace=f81a8e4e02dbf9b2"),
+    ("heft/ccr0.8/seed1", "mk=40866b9e15317d71 ip=40866b9e15317d71 ev=0 rs=0 ab=0 pool=6 events=57 trace=7b1fa709c3c5e7df"),
+    ("aheft/ccr0.8/seed1", "mk=40866b9e15317d71 ip=40866b9e15317d71 ev=2 rs=0 ab=0 pool=6 events=57 trace=fda245368d9a233b"),
+    ("minmin/ccr0.8/seed1", "mk=40916b327fda922a ip=0000000000000000 ev=0 rs=0 ab=0 pool=7 events=60 trace=8fb53a43ce8d737c"),
+    ("maxmin/ccr0.8/seed1", "mk=40901a299922dac9 ip=0000000000000000 ev=0 rs=0 ab=0 pool=7 events=58 trace=61cc7c0e9a2aaf28"),
+    ("sufferage/ccr0.8/seed1", "mk=408f6796292fbcba ip=0000000000000000 ev=0 rs=0 ab=0 pool=7 events=57 trace=88a9c920a95c3a9d"),
+    ("heft/ccr0.8/seed2", "mk=4085db31f7d47b35 ip=4085db31f7d47b35 ev=0 rs=0 ab=0 pool=6 events=66 trace=47233986a3e49ab1"),
+    ("aheft/ccr0.8/seed2", "mk=4084734264f1deac ip=4085db31f7d47b35 ev=2 rs=1 ab=3 pool=6 events=73 trace=fc1a8d873b337933"),
+    ("minmin/ccr0.8/seed2", "mk=408bf0e63b4a6b24 ip=0000000000000000 ev=0 rs=0 ab=0 pool=6 events=64 trace=905a012670fe225e"),
+    ("maxmin/ccr0.8/seed2", "mk=4089af7d1e5b4049 ip=0000000000000000 ev=0 rs=0 ab=0 pool=6 events=70 trace=5db92c88cc61dfea"),
+    ("sufferage/ccr0.8/seed2", "mk=408c00c52f9e67ae ip=0000000000000000 ev=0 rs=0 ab=0 pool=6 events=64 trace=8c25efabf6f7adf2"),
+    ("heft/ccr5/seed0", "mk=409864ebccad01b3 ip=409864ebccad01b3 ev=0 rs=0 ab=0 pool=9 events=62 trace=7bc32dad7f290401"),
+    ("aheft/ccr5/seed0", "mk=409864ebccad01b3 ip=409864ebccad01b3 ev=5 rs=0 ab=0 pool=9 events=62 trace=1439d5b77e39d69d"),
+    ("minmin/ccr5/seed0", "mk=40a29e2edaa0a886 ip=0000000000000000 ev=0 rs=0 ab=0 pool=11 events=64 trace=694085656ba969a3"),
+    ("maxmin/ccr5/seed0", "mk=40a2ec92b979a4e7 ip=0000000000000000 ev=0 rs=0 ab=0 pool=12 events=65 trace=4ce9c31284edac4f"),
+    ("sufferage/ccr5/seed0", "mk=40a22d1c76d0144e ip=0000000000000000 ev=0 rs=0 ab=0 pool=11 events=65 trace=b965f0807e15abbd"),
+    ("heft/ccr5/seed1", "mk=4097867b9a3b43b0 ip=4097867b9a3b43b0 ev=0 rs=0 ab=0 pool=9 events=55 trace=fb49252ec80410ad"),
+    ("aheft/ccr5/seed1", "mk=4097867b9a3b43b0 ip=4097867b9a3b43b0 ev=5 rs=0 ab=0 pool=9 events=55 trace=eb5572aa8e23cb1b"),
+    ("minmin/ccr5/seed1", "mk=40a7bf66d5144a7c ip=0000000000000000 ev=0 rs=0 ab=0 pool=14 events=60 trace=df6bfc1ef79c279a"),
+    ("maxmin/ccr5/seed1", "mk=40a4ee541dd37e86 ip=0000000000000000 ev=0 rs=0 ab=0 pool=12 events=57 trace=1269f69cf4d4b06a"),
+    ("sufferage/ccr5/seed1", "mk=40a59d3ac08bb394 ip=0000000000000000 ev=0 rs=0 ab=0 pool=13 events=61 trace=3a3d62aadef670f9"),
+    ("heft/ccr5/seed2", "mk=4099f27bbe35ce9c ip=4099f27bbe35ce9c ev=0 rs=0 ab=0 pool=9 events=63 trace=aea4cb6069188743"),
+    ("aheft/ccr5/seed2", "mk=4099f27bbe35ce9c ip=4099f27bbe35ce9c ev=5 rs=0 ab=0 pool=9 events=63 trace=6aac48ef39c37c44"),
+    ("minmin/ccr5/seed2", "mk=40a12c701245a9b1 ip=0000000000000000 ev=0 rs=0 ab=0 pool=11 events=65 trace=390558b5de1faf68"),
+    ("maxmin/ccr5/seed2", "mk=40a1095494f04983 ip=0000000000000000 ev=0 rs=0 ab=0 pool=11 events=70 trace=c33616c4b6102e81"),
+    ("sufferage/ccr5/seed2", "mk=40a16ab98f3534dd ip=0000000000000000 ev=0 rs=0 ab=0 pool=11 events=65 trace=295b87b5ef5eb646"),
+    ("aheft-pin/ccr0.8/seed1", "mk=40866b9e15317d71 ip=40866b9e15317d71 ev=2 rs=0 ab=0 pool=6 events=57 trace=255792e0b45c4ac4"),
+    ("aheft-noinsert/ccr0.8/seed1", "mk=40866b9e15317d71 ip=40866b9e15317d71 ev=2 rs=0 ab=0 pool=6 events=58 trace=fa9dbf271e696b0a"),
+    ("aheft-periodic200/ccr0.8/seed1", "mk=40866b9e15317d71 ip=40866b9e15317d71 ev=3 rs=0 ab=0 pool=6 events=60 trace=16147764a0b08a0a"),
+    ("aheft-noisy/seed7", "mk=405399a13bfbda1e ip=4054000000000000 ev=4 rs=1 ab=1 pool=3 events=23 trace=fb0777ab4fc72bb5"),
+    ("heft-noisy/seed7", "mk=4053b72035612af9 ip=4054000000000000 ev=0 rs=0 ab=0 pool=3 events=23 trace=3bc199a7d559127a"),
+    ("aheft-noisy/seed8", "mk=4054a346fd258421 ip=4054000000000000 ev=1 rs=0 ab=0 pool=3 events=20 trace=7014dced15a3293a"),
+    ("heft-noisy/seed8", "mk=4054a346fd258421 ip=4054000000000000 ev=0 rs=0 ab=0 pool=3 events=20 trace=aaf4a014263f8e8f"),
+    ("aheft-fail/seed0", "mk=4068c00000000000 ip=4054000000000000 ev=5 rs=3 ab=3 pool=6 events=21 trace=4d75af78665bade7"),
+    ("heft-fail/seed0", "mk=4068c00000000000 ip=4054000000000000 ev=3 rs=3 ab=3 pool=6 events=21 trace=1ff579c057cbf401"),
+    ("aheft-fail/seed1", "mk=4055f650b0363a05 ip=4054000000000000 ev=2 rs=1 ab=3 pool=4 events=22 trace=146163485500d9ca"),
+    ("heft-fail/seed1", "mk=4055f650b0363a05 ip=4054000000000000 ev=1 rs=1 ab=3 pool=4 events=22 trace=827ac46790be9855"),
+    ("aheft-fail/seed2", "mk=4054000000000000 ip=4054000000000000 ev=1 rs=0 ab=0 pool=4 events=20 trace=84d53f0b5110db46"),
+    ("heft-fail/seed2", "mk=4054000000000000 ip=4054000000000000 ev=0 rs=0 ab=0 pool=4 events=20 trace=b88a74d845452e42"),
+    ("aheft-fail/seed3", "mk=4058baab3e3a4de4 ip=4054000000000000 ev=2 rs=1 ab=2 pool=4 events=19 trace=38dbb51bda220600"),
+    ("heft-fail/seed3", "mk=4058baab3e3a4de4 ip=4054000000000000 ev=1 rs=1 ab=2 pool=4 events=19 trace=1f94dfe74c4aeeaf"),
+];
+
+#[test]
+fn trait_driven_engine_matches_prerefactor_fingerprints() {
+    let got = compute_fingerprints();
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        for (label, fp) in &got {
+            println!("    (\"{label}\", \"{fp}\"),");
+        }
+        return;
+    }
+    assert_eq!(GOLDEN.len(), got.len(), "scenario grid changed; regenerate the golden table");
+    for ((glabel, gfp), (label, fp)) in GOLDEN.iter().zip(&got) {
+        assert_eq!(glabel, label, "scenario order changed; regenerate the golden table");
+        assert_eq!(
+            gfp, fp,
+            "{label}: run diverged from the pre-refactor engine\n  golden: {gfp}\n  got:    {fp}"
+        );
+    }
+}

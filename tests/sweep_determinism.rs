@@ -58,6 +58,20 @@ fn table3_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn policy_matrix_shard_split_reproduces_the_full_run() {
+    // The --policy axis runs through the same sharded sweep driver: one
+    // row group per policy, bit-identical at any parallelism or split.
+    let names: Vec<String> = vec!["ranked-jit".into(), "aheft".into(), "heft".into()];
+    let full = csv_rows(&experiments::policy_matrix(Scale::Smoke, &threads(1), &names));
+    let t4 = csv_rows(&experiments::policy_matrix(Scale::Smoke, &threads(4), &names));
+    assert_eq!(full, t4);
+    let s0 = csv_rows(&experiments::policy_matrix(Scale::Smoke, &shard(0, 2), &names));
+    let s1 = csv_rows(&experiments::policy_matrix(Scale::Smoke, &shard(1, 2), &names));
+    assert_eq!(s0.len() + s1.len(), full.len(), "shards partition the rows");
+    assert_eq!(merge_shards(&[s0, s1]), full, "2-way shard union != full run");
+}
+
+#[test]
 fn table3_shard_split_reproduces_the_full_run() {
     let full = csv_rows(&experiments::table3(Scale::Smoke, &threads(1)));
     let s0 = csv_rows(&experiments::table3(Scale::Smoke, &shard(0, 2)));

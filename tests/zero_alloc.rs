@@ -15,8 +15,11 @@ use std::sync::Mutex;
 /// land inside another's measured window. Every test takes this lock.
 static SERIAL: Mutex<()> = Mutex::new(());
 
-use aheft::core::aheft::{aheft_schedule_into, AheftConfig, ReschedulableSet, ScheduleWorkspace};
+use aheft::core::aheft::{
+    aheft_reschedule, aheft_schedule_into, AheftConfig, ReschedulableSet, ScheduleWorkspace,
+};
 use aheft::core::planner::{AdaptivePlanner, Decision, ReschedulePolicy};
+use aheft::core::policy::PlanQueues;
 use aheft::gridsim::executor::Snapshot;
 use aheft::gridsim::reservation::SlotPolicy;
 use aheft::prelude::*;
@@ -107,6 +110,33 @@ fn aheft_pass_allocates_nothing_after_warmup() {
         });
         assert_eq!(warm.to_bits(), last.to_bits(), "reuse changed the result");
     }
+}
+
+#[test]
+fn plan_adoption_allocates_nothing_after_warmup() {
+    // The runner's plan-replacement path: adopting a new plan into the
+    // per-resource execution queues must reuse the queue buffers (ISSUE 5
+    // satellite — previously every adoption rebuilt Vec<Vec<_>> from
+    // scratch).
+    let _serial = SERIAL.lock().unwrap();
+    let (dag, costs, snap, alive) = midrun_instance(120, 16);
+    let initial = aheft_reschedule(
+        &dag,
+        &costs,
+        &aheft::gridsim::executor::Snapshot::initial(16),
+        &alive,
+        &AheftConfig::default(),
+    );
+    let midrun = aheft_reschedule(&dag, &costs, &snap, &alive, &AheftConfig::default());
+    let mut queues = PlanQueues::new();
+    // Warm-up: queue buffers grow to the larger of the two plans.
+    queues.adopt(&initial.plan, 16);
+    queues.adopt(&midrun.plan, 16);
+    assert_alloc_free("plan adoption", || {
+        // Alternate plans so every adoption genuinely rewrites the queues.
+        queues.adopt(&initial.plan, 16);
+        queues.adopt(&midrun.plan, 16);
+    });
 }
 
 #[test]
