@@ -1,0 +1,399 @@
+//! A lightweight hand-rolled Rust lexer: token stream with line spans.
+//!
+//! The analyzer needs to distinguish *identifier* occurrences (`HashMap`,
+//! `unwrap`, `Instant`) from the same spellings inside string literals and
+//! comments, and it needs comment text back to honour suppression
+//! directives — so a regex pass is not enough, but a full `syn` parse is
+//! far more than needed (and `syn` is not vendored). This lexer covers the
+//! token-level subset the lints consume:
+//!
+//! * identifiers (including raw `r#ident`) and keywords (undifferentiated),
+//! * punctuation, one character per token (`::` is two adjacent `:`),
+//! * string/char/byte/raw-string literals (skipped as opaque `Literal`s),
+//! * lifetimes (so `'a` is not mistaken for an unterminated char literal),
+//! * numbers (opaque `Literal`s, float-ness preserved in the text),
+//! * comments, collected into a side list with their line numbers (they
+//!   carry `analyzer:` directives) and **not** emitted as tokens.
+//!
+//! Doc comments (`///`, `//!`, `/** */`) are treated as ordinary comments.
+//! The lexer never fails: malformed input degrades to opaque tokens, which
+//! at worst means a missed finding in a file `rustc` would reject anyway.
+
+/// What a token is, at the granularity the lints need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `use`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// Single punctuation character, in [`Token::text`].
+    Punct,
+    /// String/char/byte/number literal, kept opaque.
+    Literal,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text (for `Punct`, the single character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == 1
+            && self.text.as_bytes()[0] as char == c
+    }
+}
+
+/// One comment with its source line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// True when the comment had code before it on its starting line
+    /// (a trailing comment, e.g. `let x = 1; // why`).
+    pub trailing: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Lexed::default(), code_on_line: false }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Whether a token has already been emitted on the current line
+    /// (classifies comments as trailing or standalone).
+    code_on_line: bool,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.code_on_line = false;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+        self.code_on_line = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let ch = self.bump();
+                    self.push(TokenKind::Punct, (ch as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.code_on_line;
+        let start = self.pos + 2;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).trim().to_string();
+        self.out.comments.push(Comment { text, line, end_line: line, trailing });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.code_on_line;
+        let start = self.pos + 2;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end.max(start)]).trim().to_string();
+        self.out.comments.push(Comment { text, line, end_line: self.line, trailing });
+    }
+
+    /// `"..."` with escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// `'a'` / `'\n'` char literals vs `'a` lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // A lifetime is `'` + ident NOT followed by a closing `'`.
+        if (self.peek(1) == b'_' || self.peek(1).is_ascii_alphabetic()) && self.peek(2) != b'\'' {
+            self.bump(); // quote
+            let start = self.pos;
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `r#ident`, `b"..."`, `br#"..."#`,
+    /// `b'c'`. Returns true if it consumed something; false means the
+    /// leading `r`/`b` starts an ordinary identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.peek(0);
+        let (mut i, _byte) =
+            if c0 == b'b' && self.peek(1) == b'r' { (2, true) } else { (1, c0 == b'b') };
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            // byte char literal b'x'
+            self.bump();
+            self.char_or_lifetime();
+            return true;
+        }
+        if c0 == b'b' && self.peek(1) == b'"' {
+            self.bump();
+            self.string();
+            return true;
+        }
+        if c0 == b'r' || (c0 == b'b' && self.peek(1) == b'r') {
+            // count hashes
+            let mut hashes = 0usize;
+            while self.peek(i) == b'#' {
+                hashes += 1;
+                i += 1;
+            }
+            if self.peek(i) == b'"' {
+                let line = self.line;
+                for _ in 0..=i {
+                    self.bump(); // prefix, hashes, opening quote
+                }
+                // scan for `"` followed by `hashes` hashes
+                'outer: while self.pos < self.src.len() {
+                    if self.bump() == b'"' {
+                        for h in 0..hashes {
+                            if self.peek(h) != b'#' {
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, String::new(), line);
+                return true;
+            }
+            if c0 == b'r' && hashes == 1 && is_ident_start(self.peek(2)) {
+                // raw identifier r#ident
+                let line = self.line;
+                self.bump();
+                self.bump();
+                let start = self.pos;
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokenKind::Ident, text, line);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Integer / float / hex body: consume [0-9a-zA-Z_.] but stop at
+        // `..` (range) and at a `.` followed by an ident start (method call
+        // on a literal, e.g. `1.max(x)`).
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            if c == b'.' {
+                if self.peek(1) == b'.' || is_ident_start(self.peek(1)) {
+                    break;
+                }
+                self.bump();
+            } else if c == b'_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_not_found_in_strings_or_comments() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw"#;
+            let m: HashMap<u32, u32> = HashMap::new();
+        "##;
+        assert_eq!(idents(src).iter().filter(|i| *i == "HashMap").count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn comments_carry_lines_and_trailing_flag() {
+        let l = lex("let x = 1; // why\n// standalone\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text, "why");
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("use r#type::thing;"), vec!["use", "type", "thing"]);
+    }
+
+    #[test]
+    fn float_literals_stay_single_tokens() {
+        let toks = lex("x.fold(0.0f64, f64::max)").tokens;
+        let lits: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).map(|t| &t.text).collect();
+        assert_eq!(lits, ["0.0f64"]);
+    }
+
+    #[test]
+    fn method_call_on_int_literal() {
+        let toks = lex("1.max(x)").tokens;
+        assert_eq!(toks[0].text, "1");
+        assert!(toks[1].is_punct('.'));
+        assert!(toks[2].is_ident("max"));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: per-pass heap allocations inside a `// analyzer: hot` function.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+// analyzer: hot
+pub fn collect_ids(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    out.extend(doubled);
+    out
+}
+
+pub fn cold_alloc_is_fine(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

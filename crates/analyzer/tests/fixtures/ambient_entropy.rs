@@ -1,0 +1,10 @@
+//! Fixture: wall-clock and environment reads in simulation code.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _ = std::env::var("SEED");
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,23 @@
+//! Fixture: float reductions outside the blessed rank kernels.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total = xs.iter().sum::<f64>();
+    total / xs.len() as f64
+}
+
+pub fn hidden_type(xs: &[u32]) -> u32 {
+    xs.iter().sum()
+}
+
+pub fn product(xs: &[f64]) -> f64 {
+    xs.iter().fold(1.0f64, |acc, x| acc * x)
+}
+
+pub fn integer_sum_is_fine(xs: &[u32]) -> u32 {
+    xs.iter().sum::<u32>()
+}
+
+pub fn exempt_combiner_is_fine(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

@@ -1,0 +1,9 @@
+//! Fixture: `analyzer::allow` without a reason (or naming an unknown lint)
+//! is itself a finding, and suppresses nothing.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+// analyzer::allow(nondeterministic-iteration)
+use std::collections::HashSet;
+
+// analyzer::allow(made-up-lint): this lint does not exist
+pub type Seen = HashSet<u64>;

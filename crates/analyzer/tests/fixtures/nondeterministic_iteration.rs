@@ -1,0 +1,12 @@
+//! Fixture: `HashMap`/`HashSet` in a module declared deterministic.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

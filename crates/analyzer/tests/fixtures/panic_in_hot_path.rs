@@ -1,0 +1,15 @@
+//! Fixture: panicking shortcuts inside a `// analyzer: hot` function.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+// analyzer: hot
+pub fn pick(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    if !first.is_finite() {
+        panic!("non-finite input");
+    }
+    *first
+}
+
+pub fn cold_unwrap_is_fine(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}

@@ -1,0 +1,21 @@
+//! Fixture: justified `analyzer::allow` directives keep the file clean,
+//! including multi-line reasons between the directive and the code.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+// analyzer::allow(nondeterministic-iteration): membership-only probe set —
+// never iterated, so its randomized order cannot leak into any result.
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    // analyzer::allow(nondeterministic-iteration): membership-only
+    // (`insert` reports whether the value was new); no iteration.
+    let mut seen: HashSet<u32> = HashSet::new();
+    xs.iter().filter(|x| seen.insert(**x)).count()
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    // analyzer::allow(float-reduction-discipline): slice order is fixed by
+    // the caller's construction order; one canonical fold.
+    let total = xs.iter().sum::<f64>();
+    total / xs.len() as f64
+}

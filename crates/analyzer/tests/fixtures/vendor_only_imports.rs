@@ -1,0 +1,15 @@
+//! Fixture: imports outside the workspace/vendor allowlist.
+//! Never compiled — analyzed as text by `tests/lints.rs`.
+
+use libc::c_int;
+use rayon::prelude::ParallelIterator;
+
+mod helpers;
+use helpers::noop;
+
+use serde::Serialize;
+
+pub fn f(x: c_int) -> c_int {
+    noop();
+    x
+}

@@ -31,7 +31,7 @@ fn bench_gap_scan(c: &mut Criterion) {
         let horizon = t.avail();
         let probes: Vec<(f64, f64)> = (0..64)
             .map(|i| {
-                let est = horizon * (i as f64) / 64.0;
+                let est = horizon * f64::from(i) / 64.0;
                 let dur = if i % 3 == 0 { 0.4 } else { 2.0 };
                 (est, dur)
             })
@@ -56,7 +56,7 @@ fn bench_gap_scan(c: &mut Criterion) {
         b.iter(|| {
             let mut t = SlotTable::new();
             for k in 0..10u32 {
-                let est = t.earliest_start(k as f64, 1.0, SlotPolicy::Insertion);
+                let est = t.earliest_start(f64::from(k), 1.0, SlotPolicy::Insertion);
                 t.reserve(est, 1.0, JobId(k));
             }
             t.revoke_from(5.0);

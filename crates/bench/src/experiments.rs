@@ -56,8 +56,8 @@ const APP_POOL: [usize; 5] = [20, 40, 60, 80, 100];
 
 /// Build the random-DAG case grid, optionally pinning one axis.
 fn random_cases(scale: Scale, pin_ccr: Option<f64>, pin_jobs: Option<usize>) -> Vec<Case> {
-    let jobs = pin_jobs.map(|v| vec![v]).unwrap_or_else(|| strided(&JOBS, scale));
-    let ccrs = pin_ccr.map(|c| vec![c]).unwrap_or_else(|| strided(&CCR, scale));
+    let jobs = pin_jobs.map_or_else(|| strided(&JOBS, scale), |v| vec![v]);
+    let ccrs = pin_ccr.map_or_else(|| strided(&CCR, scale), |c| vec![c]);
     let outs = strided(&OUT_DEGREE, scale);
     let betas = strided(&BETA, scale);
     let pools = strided(&POOL, scale);
@@ -279,7 +279,7 @@ pub fn table3(scale: Scale, cfg: &SweepConfig) -> TextTable {
     );
     let groups: Vec<Vec<Case>> =
         CCR.iter().map(|&ccr| random_cases(scale, Some(ccr), None)).collect();
-    let total: usize = groups.iter().map(Vec::len).sum();
+    let total: usize = groups.iter().map(Vec::len).sum::<usize>();
     for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
         let (h, a, imp) = mean_improvement(&results);
         t.row(vec![format!("{}", CCR[gi]), mk(h.mean()), mk(a.mean()), pct(imp)]);
@@ -298,7 +298,7 @@ pub fn table4(scale: Scale, cfg: &SweepConfig) -> TextTable {
         &["jobs", "HEFT", "AHEFT", "improvement"],
     );
     let groups: Vec<Vec<Case>> = JOBS.iter().map(|&v| random_cases(scale, None, Some(v))).collect();
-    let total: usize = groups.iter().map(Vec::len).sum();
+    let total: usize = groups.iter().map(Vec::len).sum::<usize>();
     for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
         let (h, a, imp) = mean_improvement(&results);
         t.row(vec![JOBS[gi].to_string(), mk(h.mean()), mk(a.mean()), pct(imp)]);
@@ -324,7 +324,7 @@ pub fn table6(scale: Scale, cfg: &SweepConfig) -> TextTable {
             app_cases(scale, make, &scale.app_parallelism(), &ccrs, &betas, &pools, &deltas, &fracs)
         })
         .collect();
-    let total: usize = groups.iter().map(Vec::len).sum();
+    let total: usize = groups.iter().map(Vec::len).sum::<usize>();
     for (gi, results) in run_sharded(&groups, cfg, |c| run_case(c, false)) {
         let (h, a, imp) = mean_improvement(&results);
         t.row(vec![apps[gi].0.into(), mk(h.mean()), mk(a.mean()), pct(imp)]);

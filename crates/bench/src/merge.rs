@@ -114,7 +114,7 @@ pub fn merge_shard_dirs(out: &Path, inputs: &[PathBuf]) -> Result<Vec<MergedTabl
         }
         let header = shards[0][0].clone();
         let counts: Vec<usize> = shards.iter().map(|s| s.len() - 1).collect();
-        let total: usize = counts.iter().sum();
+        let total: usize = counts.iter().sum::<usize>();
         // A valid round-robin split of `total` rows gives shard i
         // ceil((total - i) / m) rows; anything else means the directories
         // are not complementary shards of one table.
@@ -207,7 +207,7 @@ mod tests {
         let root = tmp("dup");
         let s0 = root.join("s0");
         write(&s0, "t.csv", &["h", "r0", "r2"]);
-        let err = merge_shard_dirs(&root.join("out"), &[s0.clone(), s0.clone()]).unwrap_err();
+        let err = merge_shard_dirs(&root.join("out"), &[s0.clone(), s0]).unwrap_err();
         assert!(err.contains("twice"), "{err}");
         let _ = fs::remove_dir_all(&root);
     }

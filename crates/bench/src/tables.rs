@@ -48,7 +48,7 @@ impl TextTable {
         let line = |cells: &[String], widths: &[usize]| -> String {
             let mut s = String::new();
             for (c, w) in cells.iter().zip(widths) {
-                let _ = write!(s, "{c:>w$}  ", w = w);
+                let _ = write!(s, "{c:>w$}  ");
             }
             s.trim_end().to_string()
         };

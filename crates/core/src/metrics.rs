@@ -49,6 +49,8 @@ pub fn speedup(dag: &Dag, costs: &CostTable, makespan: f64) -> f64 {
         return 0.0;
     }
     let best_seq = (0..costs.resource_count())
+        // analyzer::allow(float-reduction-discipline): per-resource total in
+        // ascending job-id order — fixed, and reported in CSVs via speedup.
         .map(|r| dag.job_ids().map(|j| costs.comp(j, ResourceId::from(r))).sum::<f64>())
         .fold(f64::INFINITY, f64::min);
     if best_seq.is_finite() {
@@ -69,7 +71,10 @@ pub fn utilization(
     if resources == 0 || makespan <= 0.0 {
         return 0.0;
     }
-    let busy: f64 = intervals.iter().map(|&(_, _, s, f)| f - s).sum();
+    // analyzer::allow(float-reduction-discipline): busy-time fold over the
+    // trace's completion-ordered intervals — the order is part of the trace
+    // fingerprint the differential suites pin.
+    let busy: f64 = intervals.iter().map(|&(_, _, s, f)| f - s).sum::<f64>();
     busy / (resources as f64 * makespan)
 }
 

@@ -138,7 +138,7 @@ mod tests {
         let dag = b.build().unwrap();
         let costs = CostTable::from_dag_comm(
             &dag,
-            vec![vec![10.0, 20.0], vec![30.0, 15.0], vec![50.0, 60.0]],
+            &[vec![10.0, 20.0], vec![30.0, 15.0], vec![50.0, 60.0]],
             1.0,
         )
         .unwrap();
@@ -206,7 +206,7 @@ mod tests {
         bld.add_edge(a, b, 40.0).unwrap();
         let dag = bld.build().unwrap();
         let costs =
-            CostTable::from_dag_comm(&dag, vec![vec![10.0, 10.0], vec![20.0, 20.0]], 1.0).unwrap();
+            CostTable::from_dag_comm(&dag, &[vec![10.0, 10.0], vec![20.0, 20.0]], 1.0).unwrap();
         let mut state = ExecState::new(2);
         state.start(a, ResourceId(0), 0.0, 10.0);
         state.finish(a, 10.0);

@@ -134,6 +134,7 @@ impl AdaptivePlanner {
     /// The `Keep` branch performs zero heap allocation: the candidate lives
     /// entirely in the reused workspace and only its predicted makespan is
     /// reported. An executable plan is built only on `Replace`.
+    // analyzer: hot
     pub fn evaluate(
         &mut self,
         dag: &Dag,
@@ -248,7 +249,7 @@ mod tests {
         }
         let dag = b.build().unwrap();
         let costs1 =
-            aheft_workflow::CostTable::from_dag_comm(&dag, vec![vec![10.0]; 8], 1.0).unwrap();
+            aheft_workflow::CostTable::from_dag_comm(&dag, &vec![vec![10.0]; 8], 1.0).unwrap();
         let mut costs2 = costs1.clone();
         costs2.add_resource(&[10.0; 8]).unwrap();
 

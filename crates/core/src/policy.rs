@@ -178,11 +178,15 @@ impl PlanQueues {
     /// insertion in the worst case, which is irrelevant at adoption
     /// frequency (plans are adopted only when a reschedule is accepted or
     /// forced) and buys an allocation-free steady state.
+    // analyzer: hot
     pub fn adopt(&mut self, plan: &Plan, total_resources: usize) {
         for q in &mut self.queues {
             q.clear();
         }
         if self.queues.len() < total_resources {
+            // analyzer::allow(alloc-in-hot-path): grows only when the pool
+            // exceeds every previously adopted size; steady-state adoptions
+            // reuse the buffers (pinned by tests/zero_alloc.rs).
             self.queues.resize_with(total_resources, Vec::new);
         }
         self.next.clear();

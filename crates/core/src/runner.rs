@@ -246,9 +246,9 @@ impl<'a> Sim<'a> {
         let estimate = self.costs.comp(job, r);
         let deviation = match self.state.finished_on(job) {
             Some((_, aft)) if estimate > 0.0 => {
-                let ast = match self.state.state(job) {
-                    aheft_gridsim::executor::JobState::Finished { ast, .. } => ast,
-                    _ => unreachable!("just finished"),
+                let aheft_gridsim::executor::JobState::Finished { ast, .. } = self.state.state(job)
+                else {
+                    unreachable!("just finished")
                 };
                 ((aft - ast) - estimate).abs() / estimate
             }
@@ -660,7 +660,7 @@ mod tests {
             b.add_job(format!("j{i}"));
         }
         let dag = b.build().unwrap();
-        let costs = CostTable::from_dag_comm(&dag, vec![vec![100.0, 100.0]; 16], 1.0).unwrap();
+        let costs = CostTable::from_dag_comm(&dag, &vec![vec![100.0, 100.0]; 16], 1.0).unwrap();
         let costgen = CostGenerator::new(vec![100.0; 16], 0.0).unwrap();
         let dynamics = PoolDynamics::periodic_growth(2, 100.0, 1.0).with_cap(4);
         let h = run_static_heft(&dag, &costs, &costgen, &dynamics, 1);
@@ -736,7 +736,7 @@ mod tests {
             b.add_job(format!("j{i}"));
         }
         let dag = b.build().unwrap();
-        let costs = CostTable::from_dag_comm(&dag, vec![vec![100.0, 100.0]; 16], 1.0).unwrap();
+        let costs = CostTable::from_dag_comm(&dag, &vec![vec![100.0, 100.0]; 16], 1.0).unwrap();
         let costgen = CostGenerator::new(vec![100.0; 16], 0.0).unwrap();
         let dynamics = PoolDynamics::periodic_growth(2, 100.0, 1.0).with_cap(4);
         let cfg = RunConfig { record_trace: true, ..Default::default() };

@@ -43,7 +43,7 @@ mod tests {
         let mut b = DagBuilder::new();
         b.add_job("a");
         let dag = b.build().unwrap();
-        let costs = CostTable::from_dag_comm(&dag, vec![vec![1.0, 2.0, 3.0]], 1.0).unwrap();
+        let costs = CostTable::from_dag_comm(&dag, &[vec![1.0, 2.0, 3.0]], 1.0).unwrap();
         assert_eq!(all_resources(&costs), vec![ResourceId(0), ResourceId(1), ResourceId(2)]);
     }
 }

@@ -167,7 +167,7 @@ mod tests {
         }
         let dag = b.build().unwrap();
         let costs =
-            aheft_workflow::CostTable::from_dag_comm(&dag, vec![vec![10.0]; 8], 1.0).unwrap();
+            aheft_workflow::CostTable::from_dag_comm(&dag, &vec![vec![10.0]; 8], 1.0).unwrap();
         let report = what_if(
             &dag,
             &costs,

@@ -6,6 +6,8 @@
 //! (insertion sequence), so runs are exactly reproducible.
 
 use std::cmp::{Ordering, Reverse};
+// analyzer::allow(nondeterministic-iteration): tombstone set is probed by
+// sequence number only (insert/remove/contains), never iterated.
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::event::Event;
@@ -52,6 +54,9 @@ pub struct EventQueue {
     clock: SimTime,
     processed: u64,
     /// Sequence numbers of cancelled-but-still-enqueued events.
+    /// Membership-only: pops check `contains`/`remove`; event order comes
+    /// from the heap, so the set's iteration order can reach nothing.
+    // analyzer::allow(nondeterministic-iteration): membership-only tombstone set.
     cancelled: HashSet<u64>,
 }
 

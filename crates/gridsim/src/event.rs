@@ -14,16 +14,35 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Event {
     /// A job finished executing on its resource.
-    JobFinished { job: JobId },
+    JobFinished {
+        /// The job that finished.
+        job: JobId,
+    },
     /// The output file of `producer` arrived on resource `to`.
-    TransferArrived { producer: JobId, to: ResourceId },
+    TransferArrived {
+        /// Job whose output file was transferred.
+        producer: JobId,
+        /// Resource the file arrived on.
+        to: ResourceId,
+    },
     /// `count` new resources joined the pool (Resource Pool Change).
-    ResourcesJoined { count: u32 },
+    ResourcesJoined {
+        /// Number of resources that joined at once.
+        count: u32,
+    },
     /// A resource left the pool / failed (Resource Pool Change).
-    ResourceLeft { resource: ResourceId },
+    ResourceLeft {
+        /// The departed resource.
+        resource: ResourceId,
+    },
     /// A job's actual runtime deviated from its estimate by more than the
     /// monitor's threshold (Resource Performance Variance).
-    PerformanceVariance { job: JobId, resource: ResourceId },
+    PerformanceVariance {
+        /// The job whose runtime deviated.
+        job: JobId,
+        /// Resource the job ran on.
+        resource: ResourceId,
+    },
     /// Generic wake-up used by periodic rescheduling policies.
     Wake,
 }

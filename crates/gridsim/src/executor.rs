@@ -29,10 +29,24 @@ pub enum JobState {
     Waiting,
     /// Executing on `resource` since `ast`, expected to finish at
     /// `expected_finish`.
-    Running { resource: ResourceId, ast: f64, expected_finish: f64 },
+    Running {
+        /// Resource the job is executing on.
+        resource: ResourceId,
+        /// Actual start time.
+        ast: f64,
+        /// Predicted finish time at dispatch.
+        expected_finish: f64,
+    },
     /// Finished on `resource`; `ast`/`aft` are the actual start/finish times
     /// of the paper's Table 1.
-    Finished { resource: ResourceId, ast: f64, aft: f64 },
+    Finished {
+        /// Resource the job ran on.
+        resource: ResourceId,
+        /// Actual start time.
+        ast: f64,
+        /// Actual finish time.
+        aft: f64,
+    },
 }
 
 /// Committed transfers of one edge's data: `(destination, arrival)` pairs.

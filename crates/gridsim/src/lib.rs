@@ -25,6 +25,8 @@
 //!   tests,
 //! * [`stats`] — streaming statistics used by the experiment harness.
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod event;
 pub mod executor;

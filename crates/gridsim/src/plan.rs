@@ -6,10 +6,11 @@
 //! execution queues (assignments in start order), which is what the advance
 //! reservations in the paper's Resource Manager hold.
 
-use std::collections::HashMap;
-
 use aheft_workflow::{Dag, JobId, ResourceId};
 use serde::{Deserialize, Serialize};
+
+/// Sentinel in [`Plan`]'s dense job lookup: job not scheduled by this plan.
+const UNASSIGNED: u32 = u32::MAX;
 
 /// One job's placement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,7 +29,10 @@ pub struct Assignment {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Plan {
     assignments: Vec<Assignment>,
-    by_job: HashMap<JobId, usize>,
+    /// Dense job-id -> assignment-index lookup (`UNASSIGNED` = not in this
+    /// plan). Plans are serialized (what-if services, traces); a `HashMap`
+    /// here would leak process-dependent key order into that output.
+    by_job: Vec<u32>,
     /// The makespan predicted at planning time (absolute simulation time).
     predicted_makespan: f64,
     /// Clock at which this plan was produced (0 for initial schedules).
@@ -43,7 +47,11 @@ impl Plan {
 
     /// Build from a list of assignments.
     pub fn from_assignments(planned_at: f64, assignments: Vec<Assignment>) -> Self {
-        let by_job = assignments.iter().enumerate().map(|(i, a)| (a.job, i)).collect();
+        let jobs = assignments.iter().map(|a| a.job.idx() + 1).max().unwrap_or(0);
+        let mut by_job = vec![UNASSIGNED; jobs];
+        for (i, a) in assignments.iter().enumerate() {
+            by_job[a.job.idx()] = i as u32;
+        }
         let predicted_makespan = assignments.iter().map(|a| a.finish).fold(0.0, f64::max);
         Self { assignments, by_job, predicted_makespan, planned_at }
     }
@@ -56,7 +64,10 @@ impl Plan {
 
     /// Look up a job's assignment.
     pub fn assignment(&self, job: JobId) -> Option<&Assignment> {
-        self.by_job.get(&job).map(|&i| &self.assignments[i])
+        match self.by_job.get(job.idx()) {
+            Some(&i) if i != UNASSIGNED => Some(&self.assignments[i as usize]),
+            _ => None,
+        }
     }
 
     /// The resource a job is mapped to, if scheduled.
@@ -163,7 +174,7 @@ mod tests {
         b.add_edge(a, c, 5.0).unwrap();
         let dag = b.build().unwrap();
         let costs =
-            CostTable::from_dag_comm(&dag, vec![vec![10.0, 12.0], vec![8.0, 9.0]], 1.0).unwrap();
+            CostTable::from_dag_comm(&dag, &[vec![10.0, 12.0], vec![8.0, 9.0]], 1.0).unwrap();
         (dag, costs)
     }
 

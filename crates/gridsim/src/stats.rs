@@ -109,7 +109,7 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i).sin() * 10.0 + 20.0).collect();
         let mut all = Running::new();
         for &x in &xs {
             all.push(x);

@@ -7,21 +7,77 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// Job started.
-    JobStarted { t: f64, job: JobId, resource: ResourceId },
+    JobStarted {
+        /// Simulation time of the start.
+        t: f64,
+        /// The started job.
+        job: JobId,
+        /// Resource it started on.
+        resource: ResourceId,
+    },
     /// Job finished.
-    JobFinished { t: f64, job: JobId, resource: ResourceId },
+    JobFinished {
+        /// Simulation time of the finish.
+        t: f64,
+        /// The finished job.
+        job: JobId,
+        /// Resource it ran on.
+        resource: ResourceId,
+    },
     /// Job aborted by a reschedule.
-    JobAborted { t: f64, job: JobId, resource: ResourceId },
+    JobAborted {
+        /// Simulation time of the abort.
+        t: f64,
+        /// The aborted job.
+        job: JobId,
+        /// Resource it was running on.
+        resource: ResourceId,
+    },
     /// File transfer initiated.
-    TransferStarted { t: f64, producer: JobId, from: ResourceId, to: ResourceId, arrival: f64 },
+    TransferStarted {
+        /// Simulation time the transfer began.
+        t: f64,
+        /// Job whose output file is transferred.
+        producer: JobId,
+        /// Source resource.
+        from: ResourceId,
+        /// Destination resource.
+        to: ResourceId,
+        /// Time the file will arrive at `to`.
+        arrival: f64,
+    },
     /// Resources joined the pool.
-    ResourcesJoined { t: f64, count: u32 },
+    ResourcesJoined {
+        /// Simulation time of the arrival.
+        t: f64,
+        /// Number of resources that joined.
+        count: u32,
+    },
     /// A resource left the pool.
-    ResourceLeft { t: f64, resource: ResourceId },
+    ResourceLeft {
+        /// Simulation time of the departure.
+        t: f64,
+        /// The departed resource.
+        resource: ResourceId,
+    },
     /// The planner replaced the current plan (accepted reschedule).
-    PlanReplaced { t: f64, old_makespan: f64, new_makespan: f64 },
+    PlanReplaced {
+        /// Simulation time of the adoption.
+        t: f64,
+        /// Predicted makespan of the replaced plan.
+        old_makespan: f64,
+        /// Predicted makespan of the adopted plan.
+        new_makespan: f64,
+    },
     /// The planner evaluated a reschedule and kept the current plan.
-    PlanKept { t: f64, current_makespan: f64, candidate_makespan: f64 },
+    PlanKept {
+        /// Simulation time of the evaluation.
+        t: f64,
+        /// Predicted makespan of the retained plan.
+        current_makespan: f64,
+        /// Predicted makespan of the rejected candidate.
+        candidate_makespan: f64,
+    },
 }
 
 impl TraceEvent {
@@ -131,7 +187,7 @@ impl Trace {
             out.push_str(std::str::from_utf8(&row).expect("ascii"));
             out.push_str("|\n");
         }
-        out.push_str(&format!("     0{:>width$.1}\n", horizon, width = cols));
+        out.push_str(&format!("     0{horizon:>cols$.1}\n"));
         out
     }
 }

@@ -33,7 +33,7 @@ pub type ProgressFn<'a> = dyn Fn(usize, usize) + Sync + 'a;
 
 /// Default parallelism: available CPUs, at least 1.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Apply `f` to every element of `items` in parallel on `threads` threads,

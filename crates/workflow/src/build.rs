@@ -1,5 +1,8 @@
 //! Validated DAG construction.
 
+// analyzer::allow(nondeterministic-iteration): duplicate-edge guard is
+// insert/contains-only; adjacency and topo order are built from the `edges`
+// Vec, which preserves insertion order.
 use std::collections::HashSet;
 
 use crate::error::WorkflowError;
@@ -26,7 +29,8 @@ pub struct DagBuilder {
     edges: Vec<Edge>,
     // Duplicate detection must stay O(1) per edge: generators build DAGs
     // with tens of thousands of edges, and a linear scan here turns
-    // construction quadratic.
+    // construction quadratic. Membership-only — nothing iterates it.
+    // analyzer::allow(nondeterministic-iteration): insert/contains-only duplicate guard.
     edge_set: HashSet<(JobId, JobId)>,
 }
 
@@ -41,6 +45,7 @@ impl DagBuilder {
         Self {
             jobs: Vec::with_capacity(jobs),
             edges: Vec::with_capacity(edges),
+            // analyzer::allow(nondeterministic-iteration): sizing the membership-only guard above.
             edge_set: HashSet::with_capacity(edges),
         }
     }

@@ -90,7 +90,7 @@ impl Deserialize for CostTable {
 impl CostTable {
     /// Build from explicit matrices. `comp` must have one row per job with
     /// equal lengths; costs must be finite and non-negative.
-    pub fn new(comp: Vec<Vec<f64>>, comm: Vec<f64>) -> Result<Self, WorkflowError> {
+    pub fn new(comp: &[Vec<f64>], comm: Vec<f64>) -> Result<Self, WorkflowError> {
         let jobs = comp.len();
         let resources = comp.first().map_or(0, |r| r.len());
         for (i, row) in comp.iter().enumerate() {
@@ -113,7 +113,7 @@ impl CostTable {
         }
         let mut flat = Vec::with_capacity(jobs * resources);
         for j in 0..resources {
-            for row in &comp {
+            for row in comp {
                 flat.push(row[j]);
             }
         }
@@ -131,7 +131,7 @@ impl CostTable {
     /// global `unit_cost` per volume unit (uniform network).
     pub fn from_dag_comm(
         dag: &Dag,
-        comp: Vec<Vec<f64>>,
+        comp: &[Vec<f64>],
         unit_cost: f64,
     ) -> Result<Self, WorkflowError> {
         if comp.len() != dag.job_count() {
@@ -199,6 +199,9 @@ impl CostTable {
         if self.resources == 0 {
             return 0.0;
         }
+        // analyzer::allow(float-reduction-discipline): ascending-column fold is
+        // the rank-identity contract — RankEngine replays this exact order
+        // (pinned by tests/rank_engine_props.rs).
         (0..self.resources).map(|j| self.comp[j * self.jobs + job.idx()]).sum::<f64>()
             / self.resources as f64
     }
@@ -209,6 +212,9 @@ impl CostTable {
         if resources.is_empty() {
             return 0.0;
         }
+        // analyzer::allow(float-reduction-discipline): left-to-right fold over
+        // the caller's alive order is the Eq. 5 kernel contract; RankEngine's
+        // append-delta folds are bit-identical only because this order is fixed.
         resources.iter().map(|r| self.comp[r.idx() * self.jobs + job.idx()]).sum::<f64>()
             / resources.len() as f64
     }
@@ -283,8 +289,11 @@ impl CostTable {
         if self.comm.is_empty() || self.jobs == 0 {
             return 0.0;
         }
+        // analyzer::allow(float-reduction-discipline): diagnostic CCR estimate
+        // over fixed-order dense arrays (edge-id / job-id order).
         let mean_comm = self.comm.iter().sum::<f64>() / self.comm.len() as f64;
         let mean_comp =
+            // analyzer::allow(float-reduction-discipline): same fixed job-id order.
             (0..self.jobs).map(|i| self.avg_comp(JobId::from(i))).sum::<f64>() / self.jobs as f64;
         if mean_comp == 0.0 {
             0.0
@@ -376,7 +385,7 @@ impl CostGenerator {
                 row.push(w);
             }
         }
-        CostTable::from_dag_comm(dag, comp, 1.0)
+        CostTable::from_dag_comm(dag, &comp, 1.0)
     }
 }
 
@@ -398,7 +407,7 @@ mod tests {
     #[test]
     fn comm_is_zero_when_colocated() {
         let d = tiny_dag();
-        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 2.0], vec![3.0, 4.0]], 1.0).unwrap();
+        let t = CostTable::from_dag_comm(&d, &[vec![1.0, 2.0], vec![3.0, 4.0]], 1.0).unwrap();
         let e = EdgeId(0);
         assert_eq!(t.comm_between(e, ResourceId(0), ResourceId(0)), 0.0);
         assert_eq!(t.comm_between(e, ResourceId(0), ResourceId(1)), 8.0);
@@ -407,14 +416,14 @@ mod tests {
     #[test]
     fn avg_comp_is_row_mean() {
         let d = tiny_dag();
-        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 3.0], vec![2.0, 2.0]], 1.0).unwrap();
+        let t = CostTable::from_dag_comm(&d, &[vec![1.0, 3.0], vec![2.0, 2.0]], 1.0).unwrap();
         assert!((t.avg_comp(JobId(0)) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn add_resource_extends_all_rows() {
         let d = tiny_dag();
-        let mut t = CostTable::from_dag_comm(&d, vec![vec![1.0], vec![2.0]], 1.0).unwrap();
+        let mut t = CostTable::from_dag_comm(&d, &[vec![1.0], vec![2.0]], 1.0).unwrap();
         let id = t.add_resource(&[5.0, 6.0]).unwrap();
         assert_eq!(id, ResourceId(1));
         assert_eq!(t.resource_count(), 2);
@@ -424,7 +433,7 @@ mod tests {
     #[test]
     fn add_resource_rejects_bad_column() {
         let d = tiny_dag();
-        let mut t = CostTable::from_dag_comm(&d, vec![vec![1.0], vec![2.0]], 1.0).unwrap();
+        let mut t = CostTable::from_dag_comm(&d, &[vec![1.0], vec![2.0]], 1.0).unwrap();
         assert!(t.add_resource(&[5.0]).is_err());
         assert!(t.add_resource(&[5.0, -1.0]).is_err());
     }
@@ -432,7 +441,7 @@ mod tests {
     #[test]
     fn truncated_drops_columns() {
         let d = tiny_dag();
-        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 9.0], vec![2.0, 9.0]], 1.0).unwrap();
+        let t = CostTable::from_dag_comm(&d, &[vec![1.0, 9.0], vec![2.0, 9.0]], 1.0).unwrap();
         let t2 = t.truncated(1);
         assert_eq!(t2.resource_count(), 1);
         assert!((t2.avg_comp(JobId(0)) - 1.0).abs() < 1e-12);
@@ -466,7 +475,7 @@ mod tests {
     fn measured_ccr_matches_construction() {
         let d = tiny_dag();
         // mean comm = 8, mean comp = (2 + 2) / 2 = 2 => ccr = 4
-        let t = CostTable::from_dag_comm(&d, vec![vec![1.0, 3.0], vec![2.0, 2.0]], 1.0).unwrap();
+        let t = CostTable::from_dag_comm(&d, &[vec![1.0, 3.0], vec![2.0, 2.0]], 1.0).unwrap();
         assert!((t.measured_ccr() - 4.0).abs() < 1e-12);
     }
 }

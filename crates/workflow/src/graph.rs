@@ -212,7 +212,9 @@ impl Dag {
 
     /// Sum of data volumes over all edges.
     pub fn total_data(&self) -> f64 {
-        self.edges.iter().map(|e| e.data).sum()
+        // analyzer::allow(float-reduction-discipline): edge-id order is fixed
+        // at DAG construction; diagnostic total used by generator tests.
+        self.edges.iter().map(|e| e.data).sum::<f64>()
     }
 }
 

@@ -32,6 +32,8 @@
 //! * [`analysis`] — structural statistics (width, depth, parallelism degree),
 //! * [`dot`] — Graphviz export for inspection.
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod build;
 pub mod costs;

@@ -39,6 +39,7 @@ pub fn rank_upward_over(dag: &Dag, costs: &CostTable, alive: &[ResourceId]) -> V
 
 /// As [`rank_upward_over`], writing into a caller-provided buffer so the
 /// planner hot path performs no allocation (after the buffer's first growth).
+// analyzer: hot
 pub fn rank_upward_over_into(
     dag: &Dag,
     costs: &CostTable,
@@ -101,12 +102,16 @@ pub fn priority_order_from_ranks(dag: &Dag, rank: &[f64]) -> Vec<JobId> {
 /// Uses an unstable (in-place, allocation-free) sort: the comparator is a
 /// total order — rank ties are broken by the unique topological position —
 /// so the result is identical to a stable sort.
+// analyzer: hot
 pub fn priority_order_from_ranks_into(dag: &Dag, rank: &[f64], order: &mut Vec<JobId>) {
     order.clear();
     order.extend(dag.job_ids());
     order.sort_unstable_by(|&a, &b| {
         rank[b.idx()]
             .partial_cmp(&rank[a.idx()])
+            // analyzer::allow(panic-in-hot-path): ranks are sums/maxes of finite
+            // validated costs; a NaN comparator would silently scramble the
+            // priority order, so corruption must abort instead.
             .expect("ranks are finite")
             .then_with(|| dag.topo_position(a).cmp(&dag.topo_position(b)))
     });
@@ -160,7 +165,7 @@ mod tests {
         b.add_edge(ids[1], ids[2], 2.0).unwrap();
         let dag = b.build().unwrap();
         let costs =
-            CostTable::from_dag_comm(&dag, vec![vec![10.0], vec![20.0], vec![30.0]], 1.0).unwrap();
+            CostTable::from_dag_comm(&dag, &[vec![10.0], vec![20.0], vec![30.0]], 1.0).unwrap();
         (dag, costs)
     }
 

@@ -113,6 +113,7 @@ impl RankEngine {
     ///
     /// # Panics
     /// Panics if an id in `alive` lies outside the cost table.
+    // analyzer: hot
     pub fn update<F: Fn(JobId) -> bool>(
         &mut self,
         dag: &Dag,
@@ -182,6 +183,7 @@ impl RankEngine {
     /// is recomputed; otherwise a job is skipped when its average is
     /// bit-unchanged and no successor's rank changed (dirty bits propagate
     /// upward from changed successors to their predecessors).
+    // analyzer: hot
     fn sweep<F: Fn(JobId) -> bool>(
         &mut self,
         dag: &Dag,
@@ -273,7 +275,7 @@ mod tests {
         let dag = diamond();
         let costs = CostTable::from_dag_comm(
             &dag,
-            vec![vec![3.0, 5.0], vec![2.0, 4.0], vec![6.0, 1.0], vec![7.0, 7.0]],
+            &[vec![3.0, 5.0], vec![2.0, 4.0], vec![6.0, 1.0], vec![7.0, 7.0]],
             1.0,
         )
         .unwrap();
@@ -290,7 +292,7 @@ mod tests {
     fn append_delta_matches_from_scratch() {
         let dag = diamond();
         let mut costs =
-            CostTable::from_dag_comm(&dag, vec![vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
+            CostTable::from_dag_comm(&dag, &[vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
                 .unwrap();
         let mut engine = RankEngine::new();
         engine.update(&dag, &costs, &[ResourceId(0)], |_| false);
@@ -305,12 +307,7 @@ mod tests {
         let dag = diamond();
         let costs = CostTable::from_dag_comm(
             &dag,
-            vec![
-                vec![3.0, 5.0, 9.0],
-                vec![2.0, 4.0, 8.0],
-                vec![6.0, 1.0, 2.0],
-                vec![7.0, 7.0, 3.0],
-            ],
+            &[vec![3.0, 5.0, 9.0], vec![2.0, 4.0, 8.0], vec![6.0, 1.0, 2.0], vec![7.0, 7.0, 3.0]],
             1.0,
         )
         .unwrap();
@@ -330,7 +327,7 @@ mod tests {
         // change (epoch stable).
         let dag = diamond();
         let mut costs =
-            CostTable::from_dag_comm(&dag, vec![vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
+            CostTable::from_dag_comm(&dag, &[vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
                 .unwrap();
         let mut engine = RankEngine::new();
         let e1 = engine.update(&dag, &costs, &[ResourceId(0)], |_| false);
@@ -345,7 +342,7 @@ mod tests {
     fn finished_jobs_are_pruned_but_unfinished_ranks_stay_exact() {
         let dag = diamond();
         let mut costs =
-            CostTable::from_dag_comm(&dag, vec![vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
+            CostTable::from_dag_comm(&dag, &[vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
                 .unwrap();
         let mut engine = RankEngine::new();
         engine.update(&dag, &costs, &[ResourceId(0)], |_| false);
@@ -364,7 +361,7 @@ mod tests {
     fn workspace_reuse_across_unrelated_problems_rebuilds() {
         let dag1 = diamond();
         let costs1 =
-            CostTable::from_dag_comm(&dag1, vec![vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
+            CostTable::from_dag_comm(&dag1, &[vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
                 .unwrap();
         let mut b = DagBuilder::new();
         for i in 0..4 {
@@ -373,7 +370,7 @@ mod tests {
         b.add_edge(JobId(0), JobId(3), 10.0).unwrap();
         let dag2 = b.build().unwrap();
         let costs2 =
-            CostTable::from_dag_comm(&dag2, vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]], 1.0)
+            CostTable::from_dag_comm(&dag2, &[vec![1.0], vec![1.0], vec![1.0], vec![1.0]], 1.0)
                 .unwrap();
         let alive = [ResourceId(0)];
         let mut engine = RankEngine::new();
@@ -388,7 +385,7 @@ mod tests {
     fn invalidate_forces_rebuild() {
         let dag = diamond();
         let costs =
-            CostTable::from_dag_comm(&dag, vec![vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
+            CostTable::from_dag_comm(&dag, &[vec![3.0], vec![2.0], vec![6.0], vec![7.0]], 1.0)
                 .unwrap();
         let alive = [ResourceId(0)];
         let mut engine = RankEngine::new();

@@ -62,15 +62,15 @@ pub const FIG4_R4_ARRIVAL: f64 = 15.0;
 /// Cost table over the three initially available resources `r1..r3`.
 pub fn fig4_costs_initial() -> CostTable {
     let dag = fig4_dag();
-    let comp = FIG4_COMP.iter().map(|row| row[..3].to_vec()).collect();
-    CostTable::from_dag_comm(&dag, comp, 1.0).expect("sample costs are valid")
+    let comp: Vec<Vec<f64>> = FIG4_COMP.iter().map(|row| row[..3].to_vec()).collect();
+    CostTable::from_dag_comm(&dag, &comp, 1.0).expect("sample costs are valid")
 }
 
 /// Cost table over all four resources (after `r4` has joined).
 pub fn fig4_costs_full() -> CostTable {
     let dag = fig4_dag();
-    let comp = FIG4_COMP.iter().map(|row| row.to_vec()).collect();
-    CostTable::from_dag_comm(&dag, comp, 1.0).expect("sample costs are valid")
+    let comp: Vec<Vec<f64>> = FIG4_COMP.iter().map(|row| row.to_vec()).collect();
+    CostTable::from_dag_comm(&dag, &comp, 1.0).expect("sample costs are valid")
 }
 
 /// The cost column of the late-arriving resource `r4`.

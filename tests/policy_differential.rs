@@ -39,7 +39,7 @@ fn trace_hash(report: &RunReport) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for ev in report.trace.events() {
         for b in format!("{ev:?}").bytes() {
-            h ^= b as u64;
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
     }
