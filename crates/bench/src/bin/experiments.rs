@@ -6,7 +6,7 @@
 //!             [--quiet] <artifact>...
 //! experiments merge --out DIR SHARD_DIR...
 //! artifacts: fig5 headline table3 table4 table6 table7 table8
-//!            fig8a..fig8f ablations policies all
+//!            fig8a..fig8f ablations policies robustness all
 //! ```
 //!
 //! `--threads N` fans the case sweep out over N worker threads;
@@ -66,6 +66,7 @@ fn main() {
             }
             "ablations" => experiments::ablations(scale, cfg),
             "policies" => vec![experiments::policy_matrix(scale, cfg, &args.policies)],
+            "robustness" => vec![experiments::robustness(scale, cfg)],
             other => unreachable!("parse_args validated '{other}'"),
         };
         // A sharded process emits only its own rows; say so instead of
@@ -103,5 +104,17 @@ fn main() {
             }
         }
         eprintln!("[{artifact} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+
+    // A panicking case never aborts a sweep (its row group is omitted so
+    // sibling rows survive), but a partial result set must not look like a
+    // clean run: report every poisoned case and fail the process.
+    let poisoned = aheft_bench::sweep::poisoned_cases();
+    if !poisoned.is_empty() {
+        eprintln!("error: {} case(s) panicked; their rows were omitted:", poisoned.len());
+        for p in &poisoned {
+            eprintln!("  row group {} case {}: {}", p.group, p.case, p.message);
+        }
+        std::process::exit(1);
     }
 }

@@ -9,7 +9,7 @@ use crate::scale::Scale;
 use crate::sweep::{Shard, SweepConfig};
 
 /// Every artifact name the binary accepts (besides the `all` alias).
-pub const ARTIFACTS: [&str; 15] = [
+pub const ARTIFACTS: [&str; 16] = [
     "fig5",
     "headline",
     "table3",
@@ -25,6 +25,7 @@ pub const ARTIFACTS: [&str; 15] = [
     "fig8f",
     "ablations",
     "policies",
+    "robustness",
 ];
 
 /// Parsed command line of the `experiments` binary.

@@ -14,14 +14,19 @@
 //! the paper's reference values.
 
 use aheft_core::aheft::{AheftConfig, ReschedulableSet};
+use aheft_core::recovery::{make_recovery, RECOVERY_NAMES};
 use aheft_core::runner::{run_aheft_with, run_dynamic, run_static_heft_with, RunConfig};
 use aheft_core::{DynamicHeuristic, ReschedulePolicy, SlotPolicy};
+use aheft_gridsim::fault::{FailureModel, JobFaultModel};
 use aheft_gridsim::stats::Running;
 use aheft_workflow::generators::blast::AppDagParams;
 use aheft_workflow::generators::random::RandomDagParams;
 use aheft_workflow::sample;
 
-use crate::harness::{mix_seed, run_case, run_policy_case, Case, CaseResult, Workload};
+use crate::harness::{
+    mix_seed, run_case, run_policy_case, run_robustness_case, Case, CaseResult, Workload,
+    ROBUSTNESS_NOISE_SPREAD,
+};
 use crate::scale::Scale;
 use crate::sweep::{run_sharded, SweepConfig};
 use crate::tables::{mk, pct, TextTable};
@@ -515,6 +520,122 @@ pub fn policy_matrix(scale: Scale, cfg: &SweepConfig, policies: &[String]) -> Te
     t.note = format!(
         "paired vs static HEFT on identical grids; CCR pinned to 1.0 \
          ({per_policy} cases per policy)"
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Robustness (chaos matrix)
+// ---------------------------------------------------------------------------
+
+/// The chaos matrix's failure levels: `(label, resource failures, job
+/// faults)`. Transient MTBF/MTTR are in the same `ω_DAG = 100` time units
+/// as the makespans; MTTR is pinned to MTBF/5 so availability stays at
+/// ~83% across levels and only the churn *rate* varies.
+const FAULT_LEVELS: [(&str, FailureModel, JobFaultModel); 3] = [
+    (
+        "low",
+        FailureModel::Transient { mtbf: 2000.0, mttr: 400.0 },
+        JobFaultModel::CrashOnStart { prob: 0.02 },
+    ),
+    (
+        "med",
+        FailureModel::Transient { mtbf: 800.0, mttr: 160.0 },
+        JobFaultModel::CrashOnStart { prob: 0.05 },
+    ),
+    (
+        "high",
+        FailureModel::Transient { mtbf: 300.0, mttr: 60.0 },
+        JobFaultModel::CrashOnStart { prob: 0.10 },
+    ),
+];
+
+/// The scheduling policies the chaos matrix crosses with every failure
+/// level and recovery policy: both planned families and both JIT families.
+const ROBUSTNESS_POLICIES: [&str; 4] = ["heft", "aheft", "minmin", "ranked-jit"];
+
+/// Robustness (ours) — the chaos matrix: failure level × recovery policy ×
+/// scheduling policy on one shared random-DAG grid, every chaos run paired
+/// with a fault-free run of the same policy on the identical grid. One row
+/// group per matrix cell, in `level → recovery → policy` order, so
+/// `--shard` partitions rows round-robin exactly like the paper tables.
+pub fn robustness(scale: Scale, cfg: &SweepConfig) -> TextTable {
+    let mut t = TextTable::new(
+        "Robustness — makespan degradation under fault injection",
+        &[
+            "level",
+            "recovery",
+            "policy",
+            "makespan",
+            "clean",
+            "degradation",
+            "wasted",
+            "retries",
+            "rec latency",
+            "downtime",
+            "goodput",
+            "unfinished",
+        ],
+    );
+    let grid = random_cases(scale, Some(1.0), Some(40));
+    let per_cell = grid.len();
+    // A row coordinate (level, recovery, policy) rides along with each case.
+    type Coord = (usize, usize, usize);
+    let mut coords: Vec<Coord> = Vec::new();
+    for li in 0..FAULT_LEVELS.len() {
+        for ri in 0..RECOVERY_NAMES.len() {
+            for pi in 0..ROBUSTNESS_POLICIES.len() {
+                coords.push((li, ri, pi));
+            }
+        }
+    }
+    let groups: Vec<Vec<(Coord, Case)>> =
+        coords.iter().map(|&co| grid.iter().map(|&c| (co, c)).collect()).collect();
+    for (gi, results) in run_sharded(&groups, cfg, |&((li, ri, pi), ref c)| {
+        let (_, failures, job_faults) = FAULT_LEVELS[li];
+        let recovery = make_recovery(RECOVERY_NAMES[ri]).expect("registered recovery");
+        run_robustness_case(c, ROBUSTNESS_POLICIES[pi], recovery, failures, job_faults)
+    }) {
+        let (li, ri, pi) = coords[gi];
+        let mut chaos = Running::new();
+        let mut clean = Running::new();
+        let mut wasted = Running::new();
+        let mut retries = Running::new();
+        let mut latency = Running::new();
+        let mut downtime = Running::new();
+        let mut goodput = Running::new();
+        let mut unfinished = 0usize;
+        for r in &results {
+            chaos.push(r.makespan);
+            clean.push(r.clean);
+            wasted.push(r.faults.wasted_work);
+            retries.push(r.faults.retries as f64);
+            latency.push(r.faults.recovery_latency);
+            downtime.push(r.faults.downtime);
+            goodput.push(r.faults.goodput);
+            unfinished += r.unfinished;
+        }
+        let degradation = (chaos.mean() - clean.mean()) / clean.mean();
+        t.row(vec![
+            FAULT_LEVELS[li].0.into(),
+            RECOVERY_NAMES[ri].into(),
+            ROBUSTNESS_POLICIES[pi].into(),
+            mk(chaos.mean()),
+            mk(clean.mean()),
+            pct(degradation),
+            mk(wasted.mean()),
+            format!("{:.1}", retries.mean()),
+            mk(latency.mean()),
+            mk(downtime.mean()),
+            format!("{:.3}", goodput.mean()),
+            unfinished.to_string(),
+        ]);
+    }
+    t.note = format!(
+        "transient resource failures (MTBF/MTTR per level) + job crash faults; \
+         every chaos run paired with a fault-free run of the same policy on the \
+         identical grid, both under x{ROBUSTNESS_NOISE_SPREAD} execution noise \
+         ({per_cell} cases per cell)"
     );
     t
 }

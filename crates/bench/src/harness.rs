@@ -20,8 +20,11 @@
 
 use aheft_core::policy::run_named_policy;
 use aheft_core::runner::{run_aheft, run_dynamic, run_static_heft, RunConfig};
-use aheft_core::DynamicHeuristic;
+use aheft_core::{DynamicHeuristic, RecoveryPolicy};
+use aheft_gridsim::fault::{FailureModel, JobFaultModel};
 use aheft_gridsim::pool::PoolDynamics;
+use aheft_gridsim::predictor::ActualModel;
+use aheft_gridsim::stats::FaultStats;
 use aheft_workflow::generators::blast::AppDagParams;
 use aheft_workflow::generators::random::RandomDagParams;
 use aheft_workflow::generators::{blast, gauss, montage, random, wien2k, GeneratedWorkflow};
@@ -194,6 +197,72 @@ pub fn run_policy_case(case: &Case, policy: &str) -> PolicyCaseResult {
     PolicyCaseResult { makespan: report.makespan, heft, reschedules: report.reschedules }
 }
 
+/// One policy's run on a case under fault injection, paired with the same
+/// policy on the *same* grid with faults disabled (the chaos analogue of
+/// the paper's paired methodology: the degradation column isolates what
+/// the failures cost, not what the workload costs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessCaseResult {
+    /// Makespan under fault injection.
+    pub makespan: f64,
+    /// Makespan of the identical grid with `FailureModel::None` and
+    /// `JobFaultModel::None` (noise model unchanged).
+    pub clean: f64,
+    /// Fault metrics of the chaos run.
+    pub faults: FaultStats,
+    /// Jobs left unfinished when the chaos run ended (graceful
+    /// degradation instead of completion).
+    pub unfinished: usize,
+}
+
+/// The execution-noise spread both robustness runs use. Non-zero so the
+/// straggler watchdog has genuine stragglers to catch and checkpoint
+/// credit rounds non-trivial progress.
+pub const ROBUSTNESS_NOISE_SPREAD: f64 = 0.5;
+
+/// Execute one case under a registered policy with fault injection, paired
+/// with a fault-free run of the same policy on the identical materialized
+/// grid and simulator seed.
+///
+/// # Panics
+/// Panics on unknown policy names (the CLI validates upfront).
+pub fn run_robustness_case(
+    case: &Case,
+    policy: &str,
+    recovery: RecoveryPolicy,
+    failures: FailureModel,
+    job_faults: JobFaultModel,
+) -> RobustnessCaseResult {
+    let (wf, costs, sim_seed) = case.materialize();
+    let dynamics = case.dynamics();
+    let chaos_cfg = RunConfig {
+        actual: ActualModel::Noisy { spread: ROBUSTNESS_NOISE_SPREAD },
+        failures,
+        job_faults,
+        recovery,
+        ..Default::default()
+    };
+    let chaos =
+        run_named_policy(policy, &wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, &chaos_cfg)
+            .unwrap_or_else(|| panic!("unknown policy '{policy}' (validated upfront)"));
+    // The clean baseline keeps the noise model (so the delta is the fault
+    // cost, not the noise cost); disabled fault models draw nothing, so
+    // the baseline's non-fault streams match the chaos run draw for draw.
+    let clean_cfg = RunConfig {
+        actual: ActualModel::Noisy { spread: ROBUSTNESS_NOISE_SPREAD },
+        ..Default::default()
+    };
+    let clean =
+        run_named_policy(policy, &wf.dag, &costs, &wf.costgen, &dynamics, sim_seed, &clean_cfg)
+            .expect("policy name validated above");
+    RobustnessCaseResult {
+        makespan: chaos.makespan,
+        clean: clean.makespan,
+        faults: chaos.faults,
+        unfinished: chaos.unfinished_jobs,
+    }
+}
+
 /// Mix two seed components into one master seed (splitmix-style), so case
 /// grids get decorrelated streams.
 pub fn mix_seed(a: u64, b: u64) -> u64 {
@@ -269,6 +338,34 @@ mod tests {
     #[should_panic(expected = "unknown policy")]
     fn unknown_policy_case_panics() {
         let _ = run_policy_case(&small_case(0), "bogus");
+    }
+
+    #[test]
+    fn robustness_case_is_deterministic_and_paired() {
+        let c = small_case(11);
+        let run = || {
+            run_robustness_case(
+                &c,
+                "aheft",
+                RecoveryPolicy::Resubmit,
+                FailureModel::Transient { mtbf: 800.0, mttr: 160.0 },
+                JobFaultModel::CrashOnStart { prob: 0.05 },
+            )
+        };
+        let a = run();
+        assert_eq!(a, run(), "robustness case must be a pure function of its inputs");
+        assert!(a.makespan > 0.0 && a.clean > 0.0);
+        // No faults at all ⇒ the chaos run IS the clean run.
+        let calm = run_robustness_case(
+            &c,
+            "aheft",
+            RecoveryPolicy::Resubmit,
+            FailureModel::None,
+            JobFaultModel::None,
+        );
+        assert_eq!(calm.makespan, calm.clean);
+        assert_eq!(calm.faults, FaultStats::default());
+        assert_eq!(calm.unfinished, 0);
     }
 
     #[test]

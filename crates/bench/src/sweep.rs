@@ -27,7 +27,51 @@
 //! (row `j` of the table comes from shard `j mod m`) reproduces the
 //! unsharded output byte for byte.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
 use aheft_parcomp::par_map_chunked;
+
+/// A case whose evaluation panicked, poisoning its whole row group.
+///
+/// The sweep keeps running — one broken case must not discard hours of
+/// sibling work — but the poisoned group's row is omitted from the output
+/// and the `experiments` binary reports every poisoned case and exits
+/// non-zero at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonedCase {
+    /// Row-group index of the panicking case.
+    pub group: usize,
+    /// Case index within its group.
+    pub case: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+/// Process-global registry of poisoned cases, appended by [`run_sharded`].
+static POISONED: Mutex<Vec<PoisonedCase>> = Mutex::new(Vec::new());
+
+/// Every case that panicked in any sweep since the last
+/// [`clear_poisoned`], in detection order.
+pub fn poisoned_cases() -> Vec<PoisonedCase> {
+    POISONED.lock().expect("poison registry lock").clone()
+}
+
+/// Reset the poisoned-case registry (tests; between independent sweeps).
+pub fn clear_poisoned() {
+    POISONED.lock().expect("poison registry lock").clear();
+}
+
+/// Render a panic payload for the poisoned-case report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Which slice of an artifact's row groups this process computes.
 ///
@@ -124,6 +168,13 @@ fn chunk_for(cases: usize, threads: usize) -> usize {
 /// derived from the case's own seed); under that contract the returned
 /// results are identical for any `threads` value, and a group's results
 /// are identical whether or not other groups run in the same process.
+///
+/// A case whose `eval` panics does not abort the sweep: the panic is
+/// caught, the case is recorded in the [`poisoned_cases`] registry, and the
+/// whole owning group is omitted from the returned list (like a group a
+/// shard does not own) — its row simply does not appear. Callers that must
+/// fail loudly check [`poisoned_cases`] after the sweep, as the
+/// `experiments` binary does before choosing its exit code.
 pub fn run_sharded<T, R, F>(groups: &[Vec<T>], cfg: &SweepConfig, eval: F) -> Vec<(usize, Vec<R>)>
 where
     T: Sync + Clone,
@@ -149,13 +200,26 @@ where
     let progress: Option<&aheft_parcomp::ProgressFn> =
         if cfg.progress && total > 0 { Some(&print_progress) } else { None };
 
+    let guarded = |t: &T| -> Result<R, String> {
+        catch_unwind(AssertUnwindSafe(|| eval(t))).map_err(|p| panic_message(&*p))
+    };
     let results =
-        par_map_chunked(&flat, cfg.threads, chunk_for(total, cfg.threads), progress, eval);
+        par_map_chunked(&flat, cfg.threads, chunk_for(total, cfg.threads), progress, guarded);
 
     let mut out = Vec::with_capacity(owned.len());
     let mut it = results.into_iter();
     for &gi in &owned {
-        out.push((gi, it.by_ref().take(groups[gi].len()).collect()));
+        let group: Vec<Result<R, String>> = it.by_ref().take(groups[gi].len()).collect();
+        if group.iter().all(Result::is_ok) {
+            out.push((gi, group.into_iter().map(|r| r.expect("checked ok")).collect()));
+        } else {
+            let mut reg = POISONED.lock().expect("poison registry lock");
+            for (ci, r) in group.into_iter().enumerate() {
+                if let Err(message) = r {
+                    reg.push(PoisonedCase { group: gi, case: ci, message });
+                }
+            }
+        }
     }
     out
 }
@@ -204,6 +268,29 @@ mod tests {
             merged.sort_by_key(|(gi, _)| *gi);
             assert_eq!(merged, full, "{count}-way shard union != full run");
         }
+    }
+
+    #[test]
+    fn panicking_case_poisons_its_group_only() {
+        clear_poisoned();
+        let groups: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 13, 4], vec![5]];
+        // Silence the default hook for the intentional panic, restoring it
+        // afterwards so other tests keep their backtraces.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_sharded(&groups, &SweepConfig::sequential(), |&x| {
+            assert!(x != 13, "unlucky case");
+            x * 10
+        });
+        std::panic::set_hook(hook);
+        // Group 1 is poisoned and omitted; its siblings are unaffected.
+        assert_eq!(out, vec![(0, vec![10, 20]), (2, vec![50])]);
+        let poisoned = poisoned_cases();
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!((poisoned[0].group, poisoned[0].case), (1, 1));
+        assert!(poisoned[0].message.contains("unlucky case"), "{}", poisoned[0].message);
+        clear_poisoned();
+        assert!(poisoned_cases().is_empty());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`policy`] — the pluggable strategy layer: the [`SchedulingPolicy`]
 //!   trait, the planned/JIT policy families, and the by-name registry
 //!   (`--policy` in the experiment harness),
+//! * [`recovery`] — fault-recovery policies orthogonal to scheduling:
+//!   resubmit-elsewhere, capped-backoff retry, checkpoint-restart, and the
+//!   straggler watchdog, with their own by-name registry,
 //! * [`runner`] — the ONE generic event pump ([`runner::run_policy`]):
 //!   executes a workflow on the `aheft-gridsim` substrate under pool
 //!   dynamics, driving any [`SchedulingPolicy`], and returns a
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod minmin;
 pub mod planner;
 pub mod policy;
+pub mod recovery;
 pub mod runner;
 pub mod schedule;
 pub mod whatif;
@@ -47,6 +51,7 @@ pub use policy::{
     make_policy, run_named_policy, JitPolicy, PlannedPolicy, PolicyEvent, PolicyStats,
     SchedulingPolicy, POLICY_NAMES,
 };
+pub use recovery::{make_recovery, recovery_summary, RecoveryPolicy, RECOVERY_NAMES};
 pub use runner::{run_aheft, run_dynamic, run_policy, run_static_heft, ExecCtx, RunReport};
 pub use schedule::Schedule;
 

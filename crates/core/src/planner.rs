@@ -54,7 +54,12 @@ impl ReschedulePolicy {
     pub fn triggers(&self, event: &Event) -> bool {
         match self {
             ReschedulePolicy::OnPoolChange => {
-                matches!(event, Event::ResourcesJoined { .. } | Event::ResourceLeft { .. })
+                matches!(
+                    event,
+                    Event::ResourcesJoined { .. }
+                        | Event::ResourceLeft { .. }
+                        | Event::ResourceRejoined { .. }
+                )
             }
             ReschedulePolicy::OnAnyPlannerEvent => event.interests_planner(),
             ReschedulePolicy::Periodic { .. } => matches!(event, Event::Wake),

@@ -82,6 +82,28 @@ pub enum PolicyEvent {
         /// The job that was aborted on it, if one was running.
         aborted: Option<JobId>,
     },
+    /// A transiently failed resource repaired and rejoined the pool; its
+    /// cost column and id are unchanged.
+    ResourceRejoined {
+        /// The repaired resource.
+        resource: ResourceId,
+    },
+    /// A running job was killed by a fault (crash fault or straggler kill)
+    /// while its resource survived. The pump already applied the recovery
+    /// bookkeeping (wasted-work/checkpoint accounting, backoff hold); the
+    /// job is back in Waiting state at its current queue position.
+    JobFaulted {
+        /// The killed job.
+        job: JobId,
+        /// The resource it was running on (still alive).
+        resource: ResourceId,
+    },
+    /// A fault-killed job's retry backoff expired; the dispatch pass after
+    /// this event may start it again.
+    JobReleased {
+        /// The released job.
+        job: JobId,
+    },
     /// Performance-variance notification emitted via
     /// [`ExecCtx::emit_variance`].
     PerformanceVariance {
@@ -105,6 +127,9 @@ impl PolicyEvent {
             }
             PolicyEvent::PoolGrew { joined } => Event::ResourcesJoined { count: joined as u32 },
             PolicyEvent::ResourceLeft { resource, .. } => Event::ResourceLeft { resource },
+            PolicyEvent::ResourceRejoined { resource } => Event::ResourceRejoined { resource },
+            PolicyEvent::JobFaulted { job, .. } => Event::JobCrashed { job },
+            PolicyEvent::JobReleased { job } => Event::JobRetry { job },
             PolicyEvent::PerformanceVariance { job, resource } => {
                 Event::PerformanceVariance { job, resource }
             }
@@ -370,19 +395,55 @@ impl SchedulingPolicy for PlannedPolicy {
                 }
             }
             PolicyEvent::TransferArrived { .. } => { /* ledger updated at send time */ }
-            PolicyEvent::PoolGrew { .. } => {
+            PolicyEvent::PoolGrew { .. } | PolicyEvent::ResourceRejoined { .. } => {
+                // Growth and a repaired rejoin both enlarge the alive set;
+                // a replan deferred on an empty pool retries here.
                 if self.pending_forced {
                     self.pending_forced = !self.evaluate_and_maybe_replace(ctx, true);
                 } else if self.planner.should_evaluate(&ev.engine_event()) {
                     self.evaluate_and_maybe_replace(ctx, false);
                 }
             }
-            PolicyEvent::ResourceLeft { .. } => {
+            PolicyEvent::ResourceLeft { resource, aborted } => {
                 // Fault tolerance by rescheduling — forced for every
-                // planned variant. If the pool emptied, retry at the next
-                // pool change.
-                self.pending_forced = !self.evaluate_and_maybe_replace(ctx, true);
+                // planned variant, but only when the departed resource
+                // still carries unfinished planned work: in a large churny
+                // pool most failures hit resources the plan never uses, and
+                // replanning on those would keep re-placing waiting jobs
+                // (restarting their input transfers) faster than any
+                // transfer can complete. If the pool emptied, retry at the
+                // next pool change.
+                let plan_uses = ctx.dag().job_ids().any(|j| {
+                    !ctx.state().is_finished(j) && self.plan.resource_of(j) == Some(resource)
+                });
+                // A job the `NotStarted` reschedulable set pinned as
+                // running is absent from the adopted plan; once killed it
+                // has no slot to restart from, so its death must force a
+                // replacement even though the plan never used the resource.
+                let orphaned = aborted.is_some_and(|j| self.plan.resource_of(j).is_none());
+                if plan_uses || orphaned {
+                    self.pending_forced = !self.evaluate_and_maybe_replace(ctx, true);
+                }
             }
+            PolicyEvent::JobFaulted { job, .. } => {
+                // A crash/straggler kill normally leaves the plan
+                // executable (the job is Waiting again at its queue
+                // position) — but a job the `NotStarted` reschedulable set
+                // pinned as running has no queue position in the adopted
+                // plan, so its kill forces a replacement to re-cover it.
+                // Otherwise re-placing recoveries let an adaptive planner
+                // treat the kill as new information (accept-if-better);
+                // retrying recoveries — and static HEFT — restart the job
+                // in place.
+                if self.plan.resource_of(job).is_none() {
+                    self.pending_forced = !self.evaluate_and_maybe_replace(ctx, true);
+                } else if ctx.recovery().replaces_on_crash()
+                    && self.planner.policy != ReschedulePolicy::Never
+                {
+                    self.evaluate_and_maybe_replace(ctx, false);
+                }
+            }
+            PolicyEvent::JobReleased { .. } => { /* dispatch_ready restarts it */ }
             PolicyEvent::PerformanceVariance { .. } | PolicyEvent::Wake => {
                 if self.planner.should_evaluate(&ev.engine_event()) {
                     self.evaluate_and_maybe_replace(ctx, false);
@@ -436,7 +497,10 @@ fn start_queue_heads<T: Copy>(
             continue;
         }
         let job = job_of(q[next[r]]);
-        if ctx.state().is_waiting(job) && ctx.state().inputs_ready_on(ctx.dag(), job, rid, clock) {
+        if ctx.state().is_waiting(job)
+            && ctx.job_released(job)
+            && ctx.state().inputs_ready_on(ctx.dag(), job, rid, clock)
+        {
             ctx.start_job(job, rid);
         }
     }
@@ -567,8 +631,29 @@ impl SchedulingPolicy for JitPolicy {
                 self.fifo[rid].clear();
                 self.fifo_next[rid] = 0;
             }
+            PolicyEvent::ResourceRejoined { resource } => {
+                // Same id, same cost column; its queue was cleared at the
+                // failure, so it simply becomes a mapping target again.
+                self.avail[resource.idx()] = Some(ctx.clock());
+            }
+            PolicyEvent::JobFaulted { job, resource } => {
+                // Re-placing recoveries put the job back through the JIT
+                // mapper; retrying recoveries keep it queued where it was.
+                if ctx.recovery().replaces_on_crash() {
+                    self.assigned[job.idx()] = None;
+                    let rid = resource.idx();
+                    let queued = self.fifo[rid][self.fifo_next[rid]..]
+                        .iter()
+                        .position(|&j| j == job)
+                        .map(|p| p + self.fifo_next[rid]);
+                    if let Some(pos) = queued {
+                        self.fifo[rid].remove(pos);
+                    }
+                }
+            }
             PolicyEvent::JobFinished { .. }
             | PolicyEvent::TransferArrived { .. }
+            | PolicyEvent::JobReleased { .. }
             | PolicyEvent::PerformanceVariance { .. }
             | PolicyEvent::Wake => {}
         }
@@ -606,7 +691,10 @@ impl SchedulingPolicy for JitPolicy {
                 }
             }
         }
-        if !self.ready.is_empty() {
+        // Graceful degradation: with the whole pool down (transient
+        // failures can empty it), there is nothing to map onto — stall and
+        // resume at the next rejoin/join instead of panicking.
+        if !self.ready.is_empty() && self.avail.iter().any(Option::is_some) {
             let clock = ctx.clock();
             // Refresh availability floor: nothing can start in the past.
             for a in self.avail.iter_mut().flatten() {
@@ -651,7 +739,10 @@ impl SchedulingPolicy for JitPolicy {
                                 best = Some((r, ct));
                             }
                         }
-                        let (r, ct) = best.expect("at least one alive resource");
+                        // The alive set was non-empty entering the loop,
+                        // so a candidate always exists; stall defensively
+                        // if it ever does not.
+                        let Some((r, ct)) = best else { break };
                         self.avail[r.idx()] = Some(ct);
                         self.map_job(ctx, job, r);
                     }

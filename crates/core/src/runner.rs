@@ -31,10 +31,11 @@
 
 use aheft_gridsim::engine::{EventQueue, EventToken};
 use aheft_gridsim::event::Event;
-use aheft_gridsim::executor::{ExecState, SnapshotView};
-use aheft_gridsim::fault::FailureModel;
+use aheft_gridsim::executor::{ExecState, JobState, SnapshotView};
+use aheft_gridsim::fault::{derive_stream, FailureModel, JobFaultModel};
 use aheft_gridsim::pool::{PoolDynamics, PoolState};
 use aheft_gridsim::predictor::ActualModel;
+use aheft_gridsim::stats::FaultStats;
 use aheft_gridsim::time::SimTime;
 use aheft_gridsim::trace::{Trace, TraceEvent};
 use aheft_workflow::{CostGenerator, CostTable, Dag, EdgeId, JobId, ResourceId};
@@ -46,6 +47,18 @@ use crate::aheft::AheftConfig;
 use crate::minmin::DynamicHeuristic;
 use crate::planner::ReschedulePolicy;
 use crate::policy::{JitPolicy, PlannedPolicy, PolicyEvent, SchedulingPolicy};
+use crate::recovery::{backoff_delay, checkpoint_credit, RecoveryPolicy};
+
+/// Stream tag of the dedicated fault RNG (see [`derive_stream`]): fault
+/// sampling must never perturb the cost-column / noise draws of `Sim::rng`,
+/// so fault-free sweeps stay byte-identical with the machinery present.
+const FAULT_STREAM_TAG: u64 = 0xFA17;
+
+/// Hard bound on injected kills per job (crash faults and straggler
+/// kills): keeps even pathological configurations — `CrashOnStart
+/// { prob: 1.0 }`, a straggler factor below the noise band — terminating.
+/// Past the bound an attempt runs to completion, modulo resource failures.
+const MAX_CRASHES_PER_JOB: u32 = 64;
 
 /// Full run configuration (paper defaults via [`Default`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,9 +72,14 @@ pub struct RunConfig {
     /// Emit a performance-variance planner event when a job's actual
     /// runtime deviates from its estimate by more than this fraction.
     pub variance_threshold: Option<f64>,
-    /// Failure injection for the initial pool (extension; `None` in all
-    /// paper experiments).
+    /// Resource failure injection, covering the initial pool and every
+    /// late joiner (extension; `None` in all paper experiments).
     pub failures: FailureModel,
+    /// Job-level crash faults: the job dies, its resource survives
+    /// (extension; `None` in all paper experiments).
+    pub job_faults: JobFaultModel,
+    /// What the execution layer does with fault-killed jobs.
+    pub recovery: RecoveryPolicy,
     /// Record a full execution trace (Gantt-able); off for big sweeps.
     pub record_trace: bool,
 }
@@ -74,6 +92,8 @@ impl Default for RunConfig {
             actual: ActualModel::Exact,
             variance_threshold: None,
             failures: FailureModel::None,
+            job_faults: JobFaultModel::None,
+            recovery: RecoveryPolicy::Resubmit,
             record_trace: false,
         }
     }
@@ -97,6 +117,11 @@ pub struct RunReport {
     pub final_pool_size: usize,
     /// Discrete events processed.
     pub events_processed: u64,
+    /// Jobs never finished: non-zero only when faults left the run
+    /// provably unschedulable (empty pool, no pending recovery events).
+    pub unfinished_jobs: usize,
+    /// Fault-tolerance metrics (all-zero/goodput-1 for fault-free runs).
+    pub faults: FaultStats,
     /// Execution trace (empty unless `record_trace`).
     pub trace: Trace,
 }
@@ -123,6 +148,35 @@ struct Sim<'a> {
     /// per planner evaluation.
     alive_scratch: Vec<ResourceId>,
     avail_scratch: Vec<f64>,
+    // --- fault-tolerance state (inert when both fault models are None) ---
+    /// Dedicated fault RNG stream: fault sampling never touches `rng`.
+    fault_rng: StdRng,
+    failures: FailureModel,
+    job_faults: JobFaultModel,
+    recovery: RecoveryPolicy,
+    /// True when either fault model is enabled; gates the graceful
+    /// unschedulable exit (fault-free runs keep the deadlock diagnostic).
+    faults_enabled: bool,
+    /// Per-job release time under retry backoff (0 = not held).
+    held_until: Vec<f64>,
+    /// Per-job checkpointed work credited toward the next attempt.
+    saved_work: Vec<f64>,
+    /// Per-job memoized full duration under checkpoint-restart (a restart
+    /// resumes the same execution rather than redrawing its noise).
+    full_duration: Vec<Option<f64>>,
+    /// Per-job fault-kill count (drives the backoff exponent and the crash
+    /// injection bound).
+    kills: Vec<u32>,
+    /// Kill time of a fault-killed job awaiting restart (recovery latency).
+    fault_time: Vec<Option<f64>>,
+    /// Pending crash / straggler-watchdog events of running jobs.
+    crash_token: Vec<Option<EventToken>>,
+    straggler_token: Vec<Option<EventToken>>,
+    fault_kills: usize,
+    retries: usize,
+    recoveries: usize,
+    wasted_work: f64,
+    recovery_latency: f64,
 }
 
 impl<'a> Sim<'a> {
@@ -156,6 +210,24 @@ impl<'a> Sim<'a> {
             finish_token: vec![None; dag.job_count()],
             alive_scratch: Vec::new(),
             avail_scratch: Vec::new(),
+            fault_rng: StdRng::seed_from_u64(derive_stream(seed, FAULT_STREAM_TAG)),
+            failures: cfg.failures,
+            job_faults: cfg.job_faults,
+            recovery: cfg.recovery,
+            faults_enabled: cfg.failures != FailureModel::None
+                || cfg.job_faults != JobFaultModel::None,
+            held_until: vec![0.0; dag.job_count()],
+            saved_work: vec![0.0; dag.job_count()],
+            full_duration: vec![None; dag.job_count()],
+            kills: vec![0; dag.job_count()],
+            fault_time: vec![None; dag.job_count()],
+            crash_token: vec![None; dag.job_count()],
+            straggler_token: vec![None; dag.job_count()],
+            fault_kills: 0,
+            retries: 0,
+            recoveries: 0,
+            wasted_work: 0.0,
+            recovery_latency: 0.0,
         };
         if let Some(first) = sim.dynamics.first_event() {
             sim.engine.schedule(
@@ -163,16 +235,20 @@ impl<'a> Sim<'a> {
                 Event::ResourcesJoined { count: sim.dynamics.batch_size() as u32 },
             );
         }
-        // Failure injection for the initial pool.
+        // Failure injection for the initial pool (late joiners are sampled
+        // in `handle_join` over their own lifetimes).
         for r in 0..dynamics.initial {
-            if let Some(t) = cfg.failures.sample(&mut sim.rng) {
-                sim.engine.schedule(
-                    SimTime::new(t),
-                    Event::ResourceLeft { resource: ResourceId::from(r) },
-                );
-            }
+            sim.arm_failure(ResourceId::from(r), 0.0);
         }
         sim
+    }
+
+    /// Sample and schedule the next failure of `r`, which is alive from
+    /// `birth`. Draws come from the dedicated fault stream only.
+    fn arm_failure(&mut self, r: ResourceId, birth: f64) {
+        if let Some(t) = self.failures.sample_from(birth, &mut self.fault_rng) {
+            self.engine.schedule(SimTime::new(t), Event::ResourceLeft { resource: r });
+        }
     }
 
     #[inline]
@@ -195,6 +271,9 @@ impl<'a> Sim<'a> {
             let cid = self.costs.add_resource(&column).expect("column matches job count");
             debug_assert_eq!(id, cid);
             self.running_on.push(None);
+            // Late joiners are failure candidates too, injected over their
+            // own lifetime (the initial pool is sampled in `Sim::new`).
+            self.arm_failure(id, clock);
             joined += 1;
         }
         self.trace.push(TraceEvent::ResourcesJoined { t: clock, count: joined as u32 });
@@ -222,16 +301,53 @@ impl<'a> Sim<'a> {
         self.trace.push(TraceEvent::TransferStarted { t: clock, producer, from, to, arrival });
     }
 
-    /// Start `job` on `r` now; arms its completion event.
+    /// Start `job` on `r` now; arms its completion event (plus, when
+    /// faults/recovery are configured, the crash and straggler-watchdog
+    /// events) and closes out recovery-latency accounting for a retry.
     fn start_job(&mut self, job: JobId, r: ResourceId) {
         debug_assert!(self.running_on[r.idx()].is_none(), "{r} is busy");
         let clock = self.clock();
         let estimate = self.costs.comp(job, r);
-        let duration = self.actual.actual(estimate, &mut self.rng);
+        // Checkpoint-restart resumes the same execution: the full duration
+        // is drawn once per job and each restart owes only the remainder.
+        let duration = if let RecoveryPolicy::Checkpoint { .. } = self.recovery {
+            let full = match self.full_duration[job.idx()] {
+                Some(full) => full,
+                None => {
+                    let full = self.actual.actual(estimate, &mut self.rng);
+                    self.full_duration[job.idx()] = Some(full);
+                    full
+                }
+            };
+            (full - self.saved_work[job.idx()]).max(0.0)
+        } else {
+            self.actual.actual(estimate, &mut self.rng)
+        };
         let finish = self.state.start(job, r, clock, duration);
         self.running_on[r.idx()] = Some(job);
         let token = self.engine.schedule(SimTime::new(finish), Event::JobFinished { job });
         self.finish_token[job.idx()] = Some(token);
+        if let Some(t0) = self.fault_time[job.idx()].take() {
+            self.retries += 1;
+            self.recoveries += 1;
+            self.recovery_latency += clock - t0;
+        }
+        if self.kills[job.idx()] < MAX_CRASHES_PER_JOB {
+            if let Some(offset) = self.job_faults.sample_crash_offset(duration, &mut self.fault_rng)
+            {
+                let token =
+                    self.engine.schedule(SimTime::new(clock + offset), Event::JobCrashed { job });
+                self.crash_token[job.idx()] = Some(token);
+            }
+        }
+        if let RecoveryPolicy::StragglerKill { factor } = self.recovery {
+            if estimate > 0.0 && self.kills[job.idx()] < MAX_CRASHES_PER_JOB {
+                let deadline = clock + factor * estimate;
+                let token =
+                    self.engine.schedule(SimTime::new(deadline), Event::StragglerCheck { job });
+                self.straggler_token[job.idx()] = Some(token);
+            }
+        }
         self.trace.push(TraceEvent::JobStarted { t: clock, job, resource: r });
     }
 
@@ -242,6 +358,12 @@ impl<'a> Sim<'a> {
         let r = self.state.finish(job, clock);
         self.running_on[r.idx()] = None;
         self.finish_token[job.idx()] = None;
+        if let Some(t) = self.crash_token[job.idx()].take() {
+            self.engine.cancel(t);
+        }
+        if let Some(t) = self.straggler_token[job.idx()].take() {
+            self.engine.cancel(t);
+        }
         self.trace.push(TraceEvent::JobFinished { t: clock, job, resource: r });
         let estimate = self.costs.comp(job, r);
         let deviation = match self.state.finished_on(job) {
@@ -257,15 +379,50 @@ impl<'a> Sim<'a> {
         (r, deviation)
     }
 
-    /// Abort a running job (plan replacement / resource failure). O(1): the
-    /// pending completion event is tombstoned by token, not searched for.
+    /// Abort a running job (plan replacement). O(1): the pending completion
+    /// event is tombstoned by token, not searched for.
     fn abort_job(&mut self, job: JobId) {
-        if let Some(r) = self.state.abort(job) {
-            self.running_on[r.idx()] = None;
-            let token = self.finish_token[job.idx()].take().expect("running job has an event");
-            self.engine.cancel(token);
-            self.aborted_jobs += 1;
-            self.trace.push(TraceEvent::JobAborted { t: self.clock(), job, resource: r });
+        self.kill_running(job, false);
+    }
+
+    /// Kill a running job (no-op if it is not running): shared teardown of
+    /// policy aborts (`fault = false`) and fault kills — resource failure,
+    /// crash fault, straggler kill (`fault = true`). Discarded progress is
+    /// charged to wasted work (net of checkpoint credit); fault kills
+    /// additionally drive the recovery policy (backoff hold, retry event,
+    /// recovery-latency accounting).
+    fn kill_running(&mut self, job: JobId, fault: bool) {
+        let JobState::Running { ast, .. } = self.state.state(job) else { return };
+        let clock = self.clock();
+        let r = self.state.abort(job).expect("running job aborts");
+        self.running_on[r.idx()] = None;
+        let token = self.finish_token[job.idx()].take().expect("running job has an event");
+        self.engine.cancel(token);
+        if let Some(t) = self.crash_token[job.idx()].take() {
+            self.engine.cancel(t);
+        }
+        if let Some(t) = self.straggler_token[job.idx()].take() {
+            self.engine.cancel(t);
+        }
+        let progress = clock - ast;
+        if let RecoveryPolicy::Checkpoint { interval } = self.recovery {
+            let (kept, wasted) = checkpoint_credit(self.saved_work[job.idx()], progress, interval);
+            self.saved_work[job.idx()] = kept;
+            self.wasted_work += wasted;
+        } else {
+            self.wasted_work += progress;
+        }
+        self.aborted_jobs += 1;
+        self.trace.push(TraceEvent::JobAborted { t: clock, job, resource: r });
+        if fault {
+            self.fault_kills += 1;
+            self.kills[job.idx()] = self.kills[job.idx()].saturating_add(1);
+            self.fault_time[job.idx()] = Some(clock);
+            if let RecoveryPolicy::RetryBackoff { base, cap } = self.recovery {
+                let delay = backoff_delay(base, cap, self.kills[job.idx()]);
+                self.held_until[job.idx()] = clock + delay;
+                self.engine.schedule_in(delay, Event::JobRetry { job });
+            }
         }
     }
 
@@ -294,14 +451,45 @@ impl<'a> Sim<'a> {
     }
 
     fn report(self, initial_predicted: f64, evaluations: usize, reschedules: usize) -> RunReport {
+        let makespan = self.state.makespan();
+        // Useful work = sum of finished execution intervals; goodput
+        // relates it to the progress discarded by kills.
+        let mut useful = 0.0;
+        for j in self.dag.job_ids() {
+            if let JobState::Finished { ast, aft, .. } = self.state.state(j) {
+                useful += aft - ast;
+            }
+        }
+        let denom = useful + self.wasted_work;
+        let goodput = if denom > 0.0 { useful / denom } else { 1.0 };
+        // Downtime: completed repair outages accumulated on the resource,
+        // plus the open-ended tail of resources still dead at the end.
+        let mut downtime = 0.0;
+        for r in 0..self.pool.total() {
+            let res = self.pool.resource(ResourceId::from(r));
+            downtime += res.downtime;
+            if let Some(left) = res.left_at {
+                downtime += (makespan - left).max(0.0);
+            }
+        }
         RunReport {
-            makespan: self.state.makespan(),
+            makespan,
             initial_predicted,
             evaluations,
             reschedules,
             aborted_jobs: self.aborted_jobs,
             final_pool_size: self.pool.total(),
             events_processed: self.engine.processed(),
+            unfinished_jobs: self.dag.job_count() - self.state.finished_count(),
+            faults: FaultStats {
+                fault_kills: self.fault_kills,
+                retries: self.retries,
+                wasted_work: self.wasted_work,
+                recovery_latency: self.recovery_latency,
+                recoveries: self.recoveries,
+                downtime,
+                goodput,
+            },
             trace: self.trace,
         }
     }
@@ -381,6 +569,21 @@ impl<'s, 'a> ExecCtx<'s, 'a> {
     #[inline]
     pub fn all_finished(&self) -> bool {
         self.sim.state.all_finished()
+    }
+
+    /// The configured recovery policy (so scheduling policies can decide
+    /// whether a fault-killed job should be re-placed or retried in
+    /// place).
+    #[inline]
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.sim.recovery
+    }
+
+    /// True unless `job` is held by a retry backoff; held jobs must not be
+    /// started (their release arrives as [`PolicyEvent::JobReleased`]).
+    #[inline]
+    pub fn job_released(&self, job: JobId) -> bool {
+        self.sim.held_until[job.idx()] <= self.sim.clock()
     }
 
     /// Start `job` on `r` now (the resource must be idle and alive).
@@ -471,7 +674,14 @@ pub fn run_policy(
         if sim.state.all_finished() {
             break;
         }
-        let Some((_, ev)) = sim.engine.pop() else { sim.deadlock() };
+        let Some((_, ev)) = sim.engine.pop() else {
+            if sim.faults_enabled && !sim.state.all_finished() {
+                // Provably unschedulable under the injected faults: no
+                // pending events can ever revive the pool or release work.
+                break;
+            }
+            sim.deadlock()
+        };
         let pe = match ev {
             Event::JobFinished { job } => {
                 let (resource, deviation) = sim.finish_job(job);
@@ -488,12 +698,49 @@ pub fn run_policy(
             }
             Event::ResourceLeft { resource } => {
                 sim.pool.leave(resource, sim.clock());
+                sim.trace.push(TraceEvent::ResourceLeft { t: sim.clock(), resource });
                 let aborted = sim.running_on[resource.idx()];
                 if let Some(job) = aborted {
-                    sim.abort_job(job);
+                    sim.kill_running(job, true);
+                }
+                // Transient failures repair: schedule the rejoin now so the
+                // downtime draw is adjacent to the failure's in the stream.
+                if let Some(dt) = sim.failures.sample_downtime(&mut sim.fault_rng) {
+                    sim.engine.schedule_in(dt, Event::ResourceRejoined { resource });
                 }
                 PolicyEvent::ResourceLeft { resource, aborted }
             }
+            Event::ResourceRejoined { resource } => {
+                let clock = sim.clock();
+                sim.pool.rejoin(resource, clock);
+                sim.trace.push(TraceEvent::ResourceRejoined { t: clock, resource });
+                // The repaired resource is a failure candidate again.
+                sim.arm_failure(resource, clock);
+                PolicyEvent::ResourceRejoined { resource }
+            }
+            Event::JobCrashed { job } => {
+                // The fired event consumed its own token; clear it before
+                // the kill path tries to cancel a non-pending event.
+                sim.crash_token[job.idx()] = None;
+                let JobState::Running { resource, .. } = sim.state.state(job) else {
+                    unreachable!("crash events are cancelled when {job} stops running")
+                };
+                sim.trace.push(TraceEvent::JobCrashed { t: sim.clock(), job, resource });
+                sim.kill_running(job, true);
+                PolicyEvent::JobFaulted { job, resource }
+            }
+            Event::StragglerCheck { job } => {
+                // Still pending at its deadline ⇒ the job overran k× its
+                // prediction; kill and resubmit it.
+                sim.straggler_token[job.idx()] = None;
+                let JobState::Running { resource, .. } = sim.state.state(job) else {
+                    unreachable!("straggler checks are cancelled when {job} stops running")
+                };
+                sim.trace.push(TraceEvent::JobKilled { t: sim.clock(), job, resource });
+                sim.kill_running(job, true);
+                PolicyEvent::JobFaulted { job, resource }
+            }
+            Event::JobRetry { job } => PolicyEvent::JobReleased { job },
             Event::PerformanceVariance { job, resource } => {
                 PolicyEvent::PerformanceVariance { job, resource }
             }
@@ -592,6 +839,7 @@ pub fn run_dynamic_with(
 mod tests {
     use super::*;
     use crate::aheft::ReschedulableSet;
+    use aheft_gridsim::trace::TraceEvent;
     use aheft_workflow::generators::random::{generate, RandomDagParams};
     use aheft_workflow::sample;
     use rand::rngs::StdRng;
@@ -778,5 +1026,149 @@ mod tests {
         };
         let report = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), 7, &cfg);
         assert!(report.makespan > 0.0);
+    }
+
+    /// ISSUE 7 satellite (a) regression: resources that join mid-run must
+    /// sample their failure over their *own* lifetime, not keep the seed
+    /// pool's horizon-anchored draw. With `prob: 1.0` every resource born
+    /// before the horizon fails, so a late joiner shedding a `ResourceLeft`
+    /// proves the per-resource injection.
+    #[test]
+    fn late_joiners_draw_failures_over_their_own_lifetime() {
+        let (dag, costs, costgen) = fig4_setup();
+        let initial = 3usize;
+        let dynamics = PoolDynamics::periodic_growth(initial, 20.0, 1.0);
+        let cfg = RunConfig {
+            failures: FailureModel::UniformOnce { prob: 1.0, horizon: 200.0 },
+            record_trace: true,
+            ..Default::default()
+        };
+        let mut late_failures = 0usize;
+        for seed in 0..6u64 {
+            let r = run_aheft_with(&dag, &costs, &costgen, &dynamics, seed, &cfg);
+            late_failures += r
+                .trace
+                .events()
+                .iter()
+                .filter(|ev| {
+                    matches!(ev, TraceEvent::ResourceLeft { resource, .. }
+                        if resource.idx() >= initial)
+                })
+                .count();
+        }
+        assert!(late_failures > 0, "no late joiner ever failed across 6 seeds");
+    }
+
+    #[test]
+    fn transient_failures_rejoin_and_accrue_downtime() {
+        let (dag, costs, costgen) = fig4_setup();
+        let cfg = RunConfig {
+            failures: FailureModel::Transient { mtbf: 60.0, mttr: 15.0 },
+            record_trace: true,
+            ..Default::default()
+        };
+        let mut rejoins = 0usize;
+        let mut downtime = 0.0f64;
+        for seed in 0..6u64 {
+            let r = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), seed, &cfg);
+            assert_eq!(
+                r.unfinished_jobs, 0,
+                "transient outages must not strand jobs (seed {seed})"
+            );
+            rejoins += r
+                .trace
+                .events()
+                .iter()
+                .filter(|ev| matches!(ev, TraceEvent::ResourceRejoined { .. }))
+                .count();
+            downtime += r.faults.downtime;
+        }
+        assert!(rejoins > 0, "no repair ever observed across 6 seeds");
+        assert!(downtime > 0.0, "repairs must accrue downtime");
+    }
+
+    #[test]
+    fn crash_faults_recover_under_every_recovery_policy() {
+        let (dag, costs, costgen) = fig4_setup();
+        for name in crate::recovery::RECOVERY_NAMES {
+            let cfg = RunConfig {
+                job_faults: JobFaultModel::CrashOnStart { prob: 0.3 },
+                recovery: crate::recovery::make_recovery(name).unwrap(),
+                ..Default::default()
+            };
+            let mut kills = 0usize;
+            for seed in 0..4u64 {
+                let r = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), seed, &cfg);
+                assert_eq!(r.unfinished_jobs, 0, "{name}/seed{seed} stranded jobs");
+                kills += r.faults.fault_kills;
+                if r.faults.fault_kills > 0 {
+                    assert_eq!(r.faults.recoveries, r.faults.retries);
+                    assert!(r.faults.wasted_work >= 0.0);
+                    assert!(r.faults.goodput < 1.0 + 1e-12);
+                    assert!(r.faults.recovery_latency >= 0.0);
+                }
+                let d = run_dynamic_with(
+                    &dag,
+                    &costs,
+                    &costgen,
+                    &PoolDynamics::fixed(3),
+                    seed,
+                    &cfg,
+                    DynamicHeuristic::MinMin,
+                );
+                assert_eq!(d.unfinished_jobs, 0, "minmin/{name}/seed{seed} stranded jobs");
+            }
+            assert!(kills > 0, "{name}: prob 0.3 over 4 seeds must kill something");
+        }
+    }
+
+    #[test]
+    fn certain_crash_terminates_via_retry_bound() {
+        // prob 1.0 crashes every attempt; the MAX_CRASHES_PER_JOB bound
+        // stops scheduling crash faults after 64 kills, so the 65th attempt
+        // of each job runs clean and the workflow still completes.
+        let (dag, costs, costgen) = fig4_setup();
+        let cfg = RunConfig {
+            job_faults: JobFaultModel::CrashOnStart { prob: 1.0 },
+            recovery: RecoveryPolicy::RetryBackoff { base: 1.0, cap: 8.0 },
+            ..Default::default()
+        };
+        let r = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), 3, &cfg);
+        assert_eq!(r.unfinished_jobs, 0);
+        assert_eq!(r.faults.fault_kills, dag.job_count() * MAX_CRASHES_PER_JOB as usize);
+        assert!(r.faults.goodput < 1.0);
+    }
+
+    #[test]
+    fn straggler_watchdog_kills_and_recovers() {
+        let (dag, costs, costgen) = fig4_setup();
+        let cfg = RunConfig {
+            actual: ActualModel::Noisy { spread: 0.5 },
+            recovery: RecoveryPolicy::StragglerKill { factor: 1.1 },
+            ..Default::default()
+        };
+        let mut kills = 0usize;
+        for seed in 0..6u64 {
+            let r = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), seed, &cfg);
+            assert_eq!(r.unfinished_jobs, 0, "seed {seed} stranded jobs");
+            kills += r.faults.fault_kills;
+        }
+        assert!(kills > 0, "spread 0.5 vs factor 1.1 must catch a straggler somewhere");
+    }
+
+    #[test]
+    fn dead_pool_degrades_gracefully_instead_of_panicking() {
+        // One resource, aggressive permanent failures, no growth: the pool
+        // dies and stays dead. The run must end with unfinished jobs
+        // reported, not panic on the drained event queue.
+        let (dag, costs, costgen) = fig4_setup();
+        let cfg =
+            RunConfig { failures: FailureModel::Exponential { mtbf: 5.0 }, ..Default::default() };
+        let mut stranded = 0usize;
+        for seed in 0..4u64 {
+            let r = run_aheft_with(&dag, &costs, &costgen, &PoolDynamics::fixed(3), seed, &cfg);
+            stranded += r.unfinished_jobs;
+        }
+        assert!(stranded > 0, "mtbf 5 across three resources must strand at least one run");
     }
 }

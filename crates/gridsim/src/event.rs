@@ -35,6 +35,28 @@ pub enum Event {
         /// The departed resource.
         resource: ResourceId,
     },
+    /// A transiently failed resource finished repairing and rejoined the
+    /// pool (Resource Pool Change).
+    ResourceRejoined {
+        /// The repaired resource.
+        resource: ResourceId,
+    },
+    /// A running job crashed (job-level fault); its resource survives.
+    JobCrashed {
+        /// The crashed job.
+        job: JobId,
+    },
+    /// A fault-killed job's retry backoff expired; it may start again.
+    JobRetry {
+        /// The job released for retry.
+        job: JobId,
+    },
+    /// Straggler watchdog: check whether `job` is still running past its
+    /// kill deadline (the event is cancelled when the job finishes first).
+    StragglerCheck {
+        /// The watched job.
+        job: JobId,
+    },
     /// A job's actual runtime deviated from its estimate by more than the
     /// monitor's threshold (Resource Performance Variance).
     PerformanceVariance {
@@ -54,6 +76,7 @@ impl Event {
             self,
             Event::ResourcesJoined { .. }
                 | Event::ResourceLeft { .. }
+                | Event::ResourceRejoined { .. }
                 | Event::PerformanceVariance { .. }
                 | Event::Wake
         )
@@ -68,7 +91,11 @@ mod tests {
     fn planner_interest_set() {
         assert!(Event::ResourcesJoined { count: 1 }.interests_planner());
         assert!(Event::ResourceLeft { resource: ResourceId(0) }.interests_planner());
+        assert!(Event::ResourceRejoined { resource: ResourceId(0) }.interests_planner());
         assert!(!Event::JobFinished { job: JobId(0) }.interests_planner());
+        assert!(!Event::JobCrashed { job: JobId(0) }.interests_planner());
+        assert!(!Event::JobRetry { job: JobId(0) }.interests_planner());
+        assert!(!Event::StragglerCheck { job: JobId(0) }.interests_planner());
         assert!(
             !Event::TransferArrived { producer: JobId(0), to: ResourceId(0) }.interests_planner()
         );

@@ -21,8 +21,8 @@
 //!   for the paper's experiments; EWMA-smoothed mode for the variance
 //!   extension),
 //! * [`trace`] — execution traces and ASCII Gantt charts (paper Fig. 5),
-//! * [`fault`] — failure injection (resource departure), used by robustness
-//!   tests,
+//! * [`fault`] — failure injection: permanent/transient resource failure
+//!   processes and job-level crash faults, on a dedicated RNG stream,
 //! * [`stats`] — streaming statistics used by the experiment harness.
 
 #![warn(missing_docs)]
@@ -43,6 +43,7 @@ pub mod trace;
 pub use engine::EventQueue;
 pub use event::Event;
 pub use executor::{ExecState, JobState, Snapshot, SnapshotView};
+pub use fault::{FailureModel, JobFaultModel};
 pub use plan::{Assignment, Plan};
 pub use pool::{PoolDynamics, PoolState};
 pub use reservation::{SlotPolicy, SlotTable};

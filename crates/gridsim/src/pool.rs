@@ -128,6 +128,22 @@ impl PoolState {
         }
     }
 
+    /// Mark a departed `id` as repaired and rejoined at time `t`,
+    /// accumulating the completed outage into its downtime. Returns
+    /// `false` if the resource is unknown or was not departed.
+    pub fn rejoin(&mut self, id: ResourceId, t: f64) -> bool {
+        match self.resources.get_mut(id.idx()) {
+            Some(r) => match r.left_at.take() {
+                Some(left) => {
+                    r.downtime += (t - left).max(0.0);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
     /// Metadata of resource `id`.
     pub fn resource(&self, id: ResourceId) -> &Resource {
         &self.resources[id.idx()]
@@ -174,5 +190,20 @@ mod tests {
         assert!(!p.leave(ResourceId(0), 31.0));
         assert_eq!(p.alive_count(), 2);
         assert_eq!(p.alive(), vec![ResourceId(1), ResourceId(2)]);
+    }
+
+    #[test]
+    fn rejoin_accumulates_downtime() {
+        let mut p = PoolState::new(1);
+        assert!(!p.rejoin(ResourceId(0), 5.0), "alive resource cannot rejoin");
+        assert!(p.leave(ResourceId(0), 10.0));
+        assert!(p.rejoin(ResourceId(0), 25.0));
+        assert_eq!(p.alive_count(), 1);
+        assert!((p.resource(ResourceId(0)).downtime - 15.0).abs() < 1e-12);
+        // A second cycle accumulates.
+        assert!(p.leave(ResourceId(0), 30.0));
+        assert!(p.rejoin(ResourceId(0), 34.0));
+        assert!((p.resource(ResourceId(0)).downtime - 19.0).abs() < 1e-12);
+        assert!(!p.rejoin(ResourceId(9), 40.0), "unknown resource");
     }
 }

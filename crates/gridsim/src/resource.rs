@@ -16,22 +16,28 @@ pub struct Resource {
     pub id: ResourceId,
     /// Simulation time at which the resource joined the pool.
     pub joined_at: f64,
-    /// Simulation time at which it left, if it did.
+    /// Simulation time at which it left, if it did (cleared again when a
+    /// transiently failed resource rejoins).
     pub left_at: Option<f64>,
+    /// Total time spent departed over *completed* repair cycles (downtime
+    /// of an ongoing departure is not included until the rejoin).
+    pub downtime: f64,
 }
 
 impl Resource {
     /// A resource available from time zero.
     pub fn initial(id: ResourceId) -> Self {
-        Self { id, joined_at: 0.0, left_at: None }
+        Self { id, joined_at: 0.0, left_at: None, downtime: 0.0 }
     }
 
     /// A resource that joins at `t`.
     pub fn joining(id: ResourceId, t: f64) -> Self {
-        Self { id, joined_at: t, left_at: None }
+        Self { id, joined_at: t, left_at: None, downtime: 0.0 }
     }
 
-    /// Is the resource part of the pool at time `t`?
+    /// Is the resource part of the pool at time `t`? Across transient
+    /// repair cycles only the *current* departure is recorded, so this is
+    /// exact for the present and approximate for the deep past.
     pub fn alive_at(&self, t: f64) -> bool {
         self.joined_at <= t && self.left_at.is_none_or(|l| l > t)
     }

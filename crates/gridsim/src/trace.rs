@@ -60,6 +60,31 @@ pub enum TraceEvent {
         /// The departed resource.
         resource: ResourceId,
     },
+    /// A transiently failed resource repaired and rejoined the pool.
+    ResourceRejoined {
+        /// Simulation time of the rejoin.
+        t: f64,
+        /// The repaired resource.
+        resource: ResourceId,
+    },
+    /// A running job crashed (job-level fault); its resource survives.
+    JobCrashed {
+        /// Simulation time of the crash.
+        t: f64,
+        /// The crashed job.
+        job: JobId,
+        /// Resource it was running on.
+        resource: ResourceId,
+    },
+    /// The straggler watchdog killed a job that overran its deadline.
+    JobKilled {
+        /// Simulation time of the kill.
+        t: f64,
+        /// The killed job.
+        job: JobId,
+        /// Resource it was running on.
+        resource: ResourceId,
+    },
     /// The planner replaced the current plan (accepted reschedule).
     PlanReplaced {
         /// Simulation time of the adoption.
@@ -90,6 +115,9 @@ impl TraceEvent {
             | TraceEvent::TransferStarted { t, .. }
             | TraceEvent::ResourcesJoined { t, .. }
             | TraceEvent::ResourceLeft { t, .. }
+            | TraceEvent::ResourceRejoined { t, .. }
+            | TraceEvent::JobCrashed { t, .. }
+            | TraceEvent::JobKilled { t, .. }
             | TraceEvent::PlanReplaced { t, .. }
             | TraceEvent::PlanKept { t, .. } => t,
         }

@@ -161,6 +161,36 @@ fn fig8_rows_are_thread_invariant() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "three full smoke chaos matrices are too slow for debug builds; runs \
+              under `cargo test --release`, and CI proves the same property in \
+              release via the sharded `experiments robustness` smoke run + merge \
+              + byte diff"
+)]
+fn robustness_chaos_matrix_is_thread_and_shard_invariant() {
+    // The chaos matrix must stay paired and deterministic under fault
+    // injection: the fault RNG is a per-case derived stream, so rows are
+    // bit-identical at any thread count and under a 2-way shard split
+    // (the shards here also use *different* worker counts on purpose).
+    let full = csv_rows(&experiments::robustness(Scale::Smoke, &threads(4)));
+    assert_eq!(full.len(), 48, "3 levels x 4 recovery x 4 scheduling policies");
+    for row in &full {
+        assert_eq!(row.split(',').count(), 12, "fault metrics present in every row: {row}");
+    }
+    let s0 = csv_rows(&experiments::robustness(
+        Scale::Smoke,
+        &SweepConfig { shard: Shard { index: 0, count: 2 }, ..SweepConfig::with_threads(2) },
+    ));
+    let s1 = csv_rows(&experiments::robustness(
+        Scale::Smoke,
+        &SweepConfig { shard: Shard { index: 1, count: 2 }, ..SweepConfig::with_threads(4) },
+    ));
+    assert_eq!(s0.len() + s1.len(), full.len(), "shards partition the rows");
+    assert_eq!(merge_shards(&[s0, s1]), full, "2-way shard union != full run");
+}
+
+#[test]
 fn ablations_are_thread_invariant_and_shardable() {
     let seq: Vec<Vec<String>> =
         experiments::ablations(Scale::Smoke, &threads(1)).iter().map(csv_rows).collect();
