@@ -3,10 +3,10 @@
 //! ```text
 //! experiments [--scale smoke|default|full] [--csv DIR]
 //!             [--threads N] [--shard i/m] [--policy NAME[,NAME...]]
-//!             [--quiet] <artifact>...
+//!             [--fairness NAME[,NAME...]] [--quiet] <artifact>...
 //! experiments merge --out DIR SHARD_DIR...
 //! artifacts: fig5 headline table3 table4 table6 table7 table8
-//!            fig8a..fig8f ablations policies robustness all
+//!            fig8a..fig8f ablations policies robustness multitenant all
 //! ```
 //!
 //! `--threads N` fans the case sweep out over N worker threads;
@@ -67,6 +67,7 @@ fn main() {
             "ablations" => experiments::ablations(scale, cfg),
             "policies" => vec![experiments::policy_matrix(scale, cfg, &args.policies)],
             "robustness" => vec![experiments::robustness(scale, cfg)],
+            "multitenant" => vec![experiments::multitenant(scale, cfg, &args.fairness)],
             other => unreachable!("parse_args validated '{other}'"),
         };
         // A sharded process emits only its own rows; say so instead of

@@ -9,7 +9,7 @@ use crate::scale::Scale;
 use crate::sweep::{Shard, SweepConfig};
 
 /// Every artifact name the binary accepts (besides the `all` alias).
-pub const ARTIFACTS: [&str; 16] = [
+pub const ARTIFACTS: [&str; 17] = [
     "fig5",
     "headline",
     "table3",
@@ -26,6 +26,7 @@ pub const ARTIFACTS: [&str; 16] = [
     "ablations",
     "policies",
     "robustness",
+    "multitenant",
 ];
 
 /// Parsed command line of the `experiments` binary.
@@ -42,6 +43,10 @@ pub struct Args {
     /// Validated policy names for the `policies` artifact (`--policy
     /// NAME[,NAME...]`, repeatable); empty = the full registry.
     pub policies: Vec<String>,
+    /// Validated fairness-policy names for the `multitenant` artifact
+    /// (`--fairness NAME[,NAME...]`, repeatable); empty = the full
+    /// registry.
+    pub fairness: Vec<String>,
     /// `merge` subcommand arguments, when the first positional was `merge`.
     pub merge: Option<MergeArgs>,
     /// `--help` was requested; print [`usage`] and exit 0.
@@ -62,10 +67,11 @@ pub fn usage() -> String {
     format!(
         "usage: experiments [--scale smoke|default|full] [--csv DIR]\n\
         \x20                  [--threads N] [--shard i/m] [--policy NAME[,NAME...]]\n\
-        \x20                  [--quiet] <artifact>...\n\
+        \x20                  [--fairness NAME[,NAME...]] [--quiet] <artifact>...\n\
         \x20      experiments merge --out DIR SHARD_DIR...\n\
          artifacts: {} all\n\
          policies:  {}\n\
+         fairness:  {}\n\
          --threads N   worker threads for the case sweep (default: all cores)\n\
          --shard i/m   compute only table rows with index ≡ i (mod m) — split\n\
         \x20              one artifact across m independent processes; taking\n\
@@ -73,12 +79,15 @@ pub fn usage() -> String {
         \x20              unsharded CSV byte for byte\n\
          --policy ...  which registered policies the `policies` artifact\n\
         \x20              sweeps (repeatable; default: the full registry)\n\
+         --fairness .. which fairness policies the `multitenant` artifact\n\
+        \x20              sweeps (repeatable; default: the full registry)\n\
          --quiet       suppress the live done/total case counter\n\
          merge         stitch the --csv directories of a complete shard set\n\
         \x20              (listed in shard order) back into one result set,\n\
         \x20              byte-identical to an unsharded run",
         ARTIFACTS.join(" "),
-        aheft_core::policy::POLICY_NAMES.join(" ")
+        aheft_core::policy::POLICY_NAMES.join(" "),
+        aheft_core::service::FAIRNESS_NAMES.join(" ")
     )
 }
 
@@ -125,6 +134,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
     let mut sweep = SweepConfig { progress: true, ..SweepConfig::default() };
     let mut artifacts: Vec<String> = Vec::new();
     let mut policies: Vec<String> = Vec::new();
+    let mut fairness: Vec<String> = Vec::new();
     if args.first().map(String::as_str) == Some("merge") {
         let merge = parse_merge_args(args.into_iter().skip(1).collect())?;
         return Ok(Args {
@@ -133,6 +143,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
             sweep,
             artifacts: Vec::new(),
             policies,
+            fairness,
             help: merge.is_none(),
             merge,
         });
@@ -177,6 +188,21 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
                     policies.push(name.to_string());
                 }
             }
+            "--fairness" => {
+                // Same upfront validation as --policy: an unknown fairness
+                // name at the end of the list must not waste a sweep.
+                let v = flag_value(&mut it, "--fairness")?;
+                for name in v.split(',') {
+                    let name = name.trim();
+                    if !aheft_core::service::is_fairness(name) {
+                        return Err(format!(
+                            "unknown fairness policy '{name}' (known: {})",
+                            aheft_core::service::FAIRNESS_NAMES.join(" ")
+                        ));
+                    }
+                    fairness.push(name.to_string());
+                }
+            }
             "--quiet" => sweep.progress = false,
             "--help" | "-h" => {
                 return Ok(Args {
@@ -185,6 +211,7 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
                     sweep,
                     artifacts: Vec::new(),
                     policies,
+                    fairness,
                     merge: None,
                     help: true,
                 });
@@ -211,7 +238,13 @@ pub fn parse_args(args: Vec<String>) -> Result<Args, String> {
                     to the artifact list"
             .into());
     }
-    Ok(Args { scale, csv_dir, sweep, artifacts, policies, merge: None, help: false })
+    // Likewise --fairness configures only the `multitenant` artifact.
+    if !fairness.is_empty() && !artifacts.iter().any(|a| a == "multitenant") {
+        return Err("--fairness only applies to the 'multitenant' artifact; add \
+                    it to the artifact list"
+            .into());
+    }
+    Ok(Args { scale, csv_dir, sweep, artifacts, policies, fairness, merge: None, help: false })
 }
 
 #[cfg(test)]
@@ -304,6 +337,41 @@ mod tests {
         // The error names every registered policy for discoverability.
         let err = parse(&["--policy", "bogus"]).unwrap_err();
         assert!(err.contains("ranked-jit"), "{err}");
+    }
+
+    #[test]
+    fn fairness_flag_parses_lists_and_repeats() {
+        let a = parse(&["--fairness", "fcfs,priority", "multitenant"]).unwrap();
+        assert_eq!(a.fairness, vec!["fcfs", "priority"]);
+        assert_eq!(a.artifacts, vec!["multitenant"]);
+        // Repeated flags append, spaces around commas are tolerated; the
+        // bare flag runs `all`, which includes the multitenant artifact.
+        let b = parse(&["--fairness", "fair-share", "--fairness", "fcfs, priority"]).unwrap();
+        assert_eq!(b.fairness, vec!["fair-share", "fcfs", "priority"]);
+        assert!(b.artifacts.iter().any(|a| a == "multitenant"));
+        // No --fairness = empty list (artifact defaults to the registry).
+        assert!(parse(&["multitenant"]).unwrap().fairness.is_empty());
+    }
+
+    #[test]
+    fn unknown_fairness_is_rejected_upfront() {
+        for bad in ["bogus", "fcfs,bogus", "FCFS", ""] {
+            let err = parse(&["--fairness", bad, "multitenant"]).expect_err(bad);
+            assert!(err.contains("unknown fairness") || err.contains("--fairness"), "{err}");
+        }
+        assert!(parse(&["--fairness"]).is_err(), "missing value");
+        // The error names every registered fairness policy.
+        let err = parse(&["--fairness", "bogus"]).unwrap_err();
+        assert!(err.contains("fair-share"), "{err}");
+    }
+
+    #[test]
+    fn fairness_flag_without_multitenant_artifact_is_rejected() {
+        // The flag must never be silently dropped.
+        let err = parse(&["--fairness", "fcfs", "table3"]).expect_err("dropped flag");
+        assert!(err.contains("multitenant"), "{err}");
+        assert!(parse(&["--fairness", "fcfs", "table3", "multitenant"]).is_ok());
+        assert!(parse(&["--fairness", "fcfs", "all"]).is_ok());
     }
 
     #[test]

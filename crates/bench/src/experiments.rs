@@ -31,6 +31,10 @@ use crate::scale::Scale;
 use crate::sweep::{run_sharded, SweepConfig};
 use crate::tables::{mk, pct, TextTable};
 
+// The multi-tenant service artifact lives in its own module; re-exported
+// here so every artifact is reachable as `experiments::<name>`.
+pub use crate::multitenant::table as multitenant;
+
 /// Subsample `values` with the scale's stride, always keeping the first and
 /// last (the extremes define the trend).
 fn strided<T: Copy>(values: &[T], scale: Scale) -> Vec<T> {

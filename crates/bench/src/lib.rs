@@ -16,6 +16,7 @@
 //! | Fig. 8(a)–(f) | [`experiments::fig8`] | four series vs CCR/β/v/R/Δ/δ |
 //! | ablations (ours) | [`experiments::ablations`] | slot policy, abort-vs-pin, policies, dynamic heuristics |
 //! | policy matrix (ours) | [`experiments::policy_matrix`] | every registered `--policy` vs paired static HEFT |
+//! | multi-tenant service (ours) | [`multitenant::table`] | slowdown/latency vs arrival rate × tenants × fairness |
 //!
 //! The paper's full campaign is 500,000 random-DAG cases plus an
 //! application campaign; [`scale::Scale`] selects a stratified subsample
@@ -36,6 +37,7 @@ pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod merge;
+pub mod multitenant;
 pub mod scale;
 pub mod sweep;
 pub mod tables;

@@ -1,0 +1,278 @@
+//! The `multitenant` artifact: the multi-tenant workflow service swept
+//! over arrival rate × tenant count × fairness policy.
+//!
+//! Each case is one full [`aheft_core::service::run_service`] run — a
+//! Poisson stream of random workflows contending for one shared pool —
+//! and each table row aggregates the service-level metrics (slowdown,
+//! p50/p99 workflow latency, pool utilization, preemptions) over the
+//! seeds of one `(rate, tenants, fairness)` cell. Rows flow through the
+//! standard sharded sweep driver ([`crate::sweep::run_sharded`]) with
+//! coordinate-derived seeds, so the CSV is byte-identical at any thread
+//! count and under any `--shard` split (`tests/sweep_determinism.rs`).
+
+use aheft_core::service::{
+    make_fairness, run_service, ArrivalProcess, ServiceConfig, ServiceReport, FAIRNESS_NAMES,
+};
+use aheft_gridsim::stats::Running;
+use aheft_workflow::generators::random::RandomDagParams;
+
+use crate::harness::mix_seed;
+use crate::scale::Scale;
+use crate::sweep::{run_sharded, SweepConfig};
+use crate::tables::{mk, TextTable};
+
+/// Poisson arrival rates the artifact sweeps (arrivals per unit time).
+/// With ~1.1k time units of work per workflow on a 2-resource slice and
+/// four slices, the grid spans light load through saturation.
+pub const ARRIVAL_RATES: [f64; 3] = [0.001, 0.002, 0.004];
+
+/// Tenant counts the artifact sweeps.
+pub const TENANT_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Shared-pool capacity of every service case.
+pub const POOL_CAPACITY: usize = 8;
+
+/// Resources leased to each admitted workflow.
+pub const WORKFLOW_SLICE: usize = 2;
+
+/// One service-level case: a `(rate, tenants, fairness)` cell instance.
+#[derive(Debug, Clone)]
+pub struct ServiceCase {
+    /// Poisson arrival rate.
+    pub rate: f64,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Registered fairness-policy name.
+    pub fairness: &'static str,
+    /// Workflow arrivals in this run.
+    pub workflows: usize,
+    /// Master seed (mixed from the cell coordinates).
+    pub seed: u64,
+}
+
+/// Per-case metrics reduced into a table row.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceCaseResult {
+    /// Arrivals admitted (== workflows in drain mode).
+    pub admitted: usize,
+    /// Mean slowdown over all completed workflows.
+    pub mean_slowdown: f64,
+    /// Worst slowdown over all completed workflows.
+    pub max_slowdown: f64,
+    /// Service-wide p50 workflow latency.
+    pub p50_latency: f64,
+    /// Service-wide p99 workflow latency.
+    pub p99_latency: f64,
+    /// Mean busy fraction of the shared pool.
+    pub utilization: f64,
+    /// Total preemptions.
+    pub preemptions: usize,
+}
+
+/// Build the [`ServiceConfig`] a case describes (drain mode: every
+/// admitted workflow runs to completion, so the latency percentiles are
+/// over the full arrival population).
+pub fn service_config(case: &ServiceCase) -> ServiceConfig {
+    ServiceConfig {
+        tenants: case.tenants,
+        arrivals: ArrivalProcess::Poisson { rate: case.rate },
+        workflows: case.workflows,
+        capacity: POOL_CAPACITY,
+        slice: WORKFLOW_SLICE,
+        fairness: make_fairness(case.fairness).expect("fairness validated upfront"),
+        workload: RandomDagParams { jobs: 24, ..RandomDagParams::paper_default() },
+        seed: case.seed,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Execute one service case and reduce its report to row metrics.
+pub fn run_service_case(case: &ServiceCase) -> ServiceCaseResult {
+    let report: ServiceReport = run_service(&service_config(case));
+    ServiceCaseResult {
+        admitted: report.admitted,
+        mean_slowdown: report.mean_slowdown(),
+        max_slowdown: report.max_slowdown(),
+        p50_latency: report.latency_percentile(0.50),
+        p99_latency: report.latency_percentile(0.99),
+        utilization: report.utilization,
+        preemptions: report.preemptions,
+    }
+}
+
+/// Multi-tenant service (ours): arrival rate × tenant count × fairness
+/// policy, one row group per cell in `rate → tenants → fairness` order so
+/// `--shard` partitions rows round-robin exactly like the paper tables.
+///
+/// `fairness` selects which registered policies to sweep (empty = the
+/// full registry); names must be pre-validated — unknown names panic,
+/// like every other upfront-validated registry user.
+pub fn table(scale: Scale, cfg: &SweepConfig, fairness: &[String]) -> TextTable {
+    let names: Vec<&'static str> = if fairness.is_empty() {
+        FAIRNESS_NAMES.to_vec()
+    } else {
+        fairness
+            .iter()
+            .map(|n| {
+                FAIRNESS_NAMES
+                    .into_iter()
+                    .find(|k| k == n)
+                    .unwrap_or_else(|| panic!("unknown fairness policy '{n}' (validated upfront)"))
+            })
+            .collect()
+    };
+    let mut t = TextTable::new(
+        "Multi-tenant service — slowdown and latency under shared-pool contention",
+        &[
+            "rate",
+            "tenants",
+            "fairness",
+            "workflows",
+            "mean slowdown",
+            "max slowdown",
+            "p50 latency",
+            "p99 latency",
+            "utilization",
+            "preemptions",
+        ],
+    );
+    let seeds = scale.seeds();
+    let workflows = scale.instances() * 8;
+    type Coord = (usize, usize, usize);
+    let mut coords: Vec<Coord> = Vec::new();
+    for ri in 0..ARRIVAL_RATES.len() {
+        for ti in 0..TENANT_COUNTS.len() {
+            for fi in 0..names.len() {
+                coords.push((ri, ti, fi));
+            }
+        }
+    }
+    let groups: Vec<Vec<(Coord, ServiceCase)>> = coords
+        .iter()
+        .map(|&(ri, ti, fi)| {
+            (0..seeds)
+                .map(|s| {
+                    // The seed is a pure function of the cell coordinates
+                    // and the fairness *name* (not the request order), so
+                    // `--fairness` subsets reproduce full-sweep rows.
+                    let name = names[fi];
+                    let tag =
+                        mix_seed(name.bytes().fold(0u64, |h, b| mix_seed(h, u64::from(b))), s);
+                    (
+                        (ri, ti, fi),
+                        ServiceCase {
+                            rate: ARRIVAL_RATES[ri],
+                            tenants: TENANT_COUNTS[ti],
+                            fairness: name,
+                            workflows,
+                            seed: mix_seed(mix_seed(0x5e21, (ri * 16 + ti) as u64), tag),
+                        },
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    for (gi, results) in run_sharded(&groups, cfg, |(_, case)| run_service_case(case)) {
+        let (ri, ti, fi) = coords[gi];
+        let mut admitted = 0usize;
+        let mut preempt = 0usize;
+        let mut mean_slow = Running::new();
+        let mut max_slow = Running::new();
+        let mut p50 = Running::new();
+        let mut p99 = Running::new();
+        let mut util = Running::new();
+        for r in &results {
+            admitted += r.admitted;
+            preempt += r.preemptions;
+            mean_slow.push(r.mean_slowdown);
+            max_slow.push(r.max_slowdown);
+            p50.push(r.p50_latency);
+            p99.push(r.p99_latency);
+            util.push(r.utilization);
+        }
+        t.row(vec![
+            format!("{}", ARRIVAL_RATES[ri]),
+            TENANT_COUNTS[ti].to_string(),
+            names[fi].into(),
+            admitted.to_string(),
+            format!("{:.3}", mean_slow.mean()),
+            format!("{:.3}", max_slow.mean()),
+            mk(p50.mean()),
+            mk(p99.mean()),
+            format!("{:.3}", util.mean()),
+            preempt.to_string(),
+        ]);
+    }
+    t.note = format!(
+        "Poisson arrivals of {workflows} random workflows (24 jobs each) per run, \
+         {seeds} run(s) per cell; pool of {POOL_CAPACITY} resources, \
+         {WORKFLOW_SLICE}-resource slices, drained to completion; latencies are \
+         nearest-rank percentiles over all workflows of a run"
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Shard;
+
+    fn smoke_case(fairness: &'static str) -> ServiceCase {
+        ServiceCase { rate: 0.002, tenants: 2, fairness, workflows: 6, seed: 7 }
+    }
+
+    #[test]
+    fn case_drains_and_reports_sane_metrics() {
+        for fairness in FAIRNESS_NAMES {
+            let r = run_service_case(&smoke_case(fairness));
+            assert_eq!(r.admitted, 6, "{fairness}");
+            assert!(r.mean_slowdown >= 1.0 - 1e-9, "{fairness}: {}", r.mean_slowdown);
+            assert!(r.max_slowdown >= r.mean_slowdown - 1e-9, "{fairness}");
+            assert!(r.p99_latency >= r.p50_latency - 1e-9, "{fairness}");
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0, "{fairness}");
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell_and_is_thread_invariant() {
+        let seq = table(Scale::Smoke, &SweepConfig::sequential(), &[]);
+        assert_eq!(seq.rows.len(), ARRIVAL_RATES.len() * TENANT_COUNTS.len() * 3);
+        let par = table(Scale::Smoke, &SweepConfig::with_threads(4), &[]);
+        assert_eq!(seq.rows, par.rows);
+    }
+
+    #[test]
+    fn fairness_subset_reproduces_full_sweep_rows() {
+        // A --fairness subset must give the same numbers for the rows it
+        // shares with the full sweep (seeds key on the fairness name).
+        let full = table(Scale::Smoke, &SweepConfig::sequential(), &[]);
+        let sub = table(Scale::Smoke, &SweepConfig::sequential(), &["priority".to_string()]);
+        assert_eq!(sub.rows.len(), ARRIVAL_RATES.len() * TENANT_COUNTS.len());
+        for row in &sub.rows {
+            assert!(full.rows.contains(row), "subset row missing from full sweep: {row:?}");
+        }
+    }
+
+    #[test]
+    fn shard_split_partitions_rows() {
+        let full = table(Scale::Smoke, &SweepConfig::sequential(), &[]);
+        let shard =
+            |index| SweepConfig { shard: Shard { index, count: 2 }, ..SweepConfig::sequential() };
+        let s0 = table(Scale::Smoke, &shard(0), &[]);
+        let s1 = table(Scale::Smoke, &shard(1), &[]);
+        assert_eq!(s0.rows.len() + s1.rows.len(), full.rows.len());
+        let mut merged = Vec::new();
+        let (mut i0, mut i1) = (s0.rows.iter(), s1.rows.iter());
+        for gi in 0..full.rows.len() {
+            let row = if gi % 2 == 0 { i0.next() } else { i1.next() };
+            merged.push(row.expect("shard owns this row").clone());
+        }
+        assert_eq!(merged, full.rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fairness")]
+    fn unknown_fairness_name_panics() {
+        table(Scale::Smoke, &SweepConfig::sequential(), &["bogus".to_string()]);
+    }
+}

@@ -23,6 +23,11 @@
 //!   executes a workflow on the `aheft-gridsim` substrate under pool
 //!   dynamics, driving any [`SchedulingPolicy`], and returns a
 //!   [`runner::RunReport`],
+//! * [`service`] — the multi-tenant workflow service: continuous arrivals
+//!   of tenant-tagged workflows contending for one shared pool through an
+//!   admission/fairness layer (FCFS, fair-share, priority-preemption, with
+//!   their own by-name registry), each admission executed by `run_policy`
+//!   on its leased slice,
 //! * [`whatif`] — the "What…if…" evaluation API sketched in §3.3 (predicted
 //!   makespan when a resource is added/removed),
 //! * [`metrics`] — makespan, SLR, speedup, improvement rate, utilization.
@@ -38,6 +43,7 @@ pub mod policy;
 pub mod recovery;
 pub mod runner;
 pub mod schedule;
+pub mod service;
 pub mod whatif;
 
 pub use aheft::{
@@ -54,6 +60,10 @@ pub use policy::{
 pub use recovery::{make_recovery, recovery_summary, RecoveryPolicy, RECOVERY_NAMES};
 pub use runner::{run_aheft, run_dynamic, run_policy, run_static_heft, ExecCtx, RunReport};
 pub use schedule::Schedule;
+pub use service::{
+    fairness_summary, is_fairness, make_fairness, run_service, workflow_streams, ArrivalProcess,
+    FairnessPolicy, ServiceConfig, ServiceReport, FAIRNESS_NAMES,
+};
 
 // Re-export the slot policy so downstream users configure schedulers without
 // importing the substrate crate.

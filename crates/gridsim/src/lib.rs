@@ -23,6 +23,8 @@
 //! * [`trace`] — execution traces and ASCII Gantt charts (paper Fig. 5),
 //! * [`fault`] — failure injection: permanent/transient resource failure
 //!   processes and job-level crash faults, on a dedicated RNG stream,
+//! * [`share`] — shared-pool accounting for the multi-tenant service
+//!   layer: per-tenant resource leases and busy-time integrals,
 //! * [`stats`] — streaming statistics used by the experiment harness.
 
 #![warn(missing_docs)]
@@ -36,6 +38,7 @@ pub mod pool;
 pub mod predictor;
 pub mod reservation;
 pub mod resource;
+pub mod share;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -47,4 +50,5 @@ pub use fault::{FailureModel, JobFaultModel};
 pub use plan::{Assignment, Plan};
 pub use pool::{PoolDynamics, PoolState};
 pub use reservation::{SlotPolicy, SlotTable};
+pub use share::SharedPool;
 pub use time::SimTime;

@@ -57,6 +57,10 @@ pub mod prelude {
     pub use aheft_core::policy::{run_named_policy, SchedulingPolicy, POLICY_NAMES};
     pub use aheft_core::runner::{run_aheft, run_dynamic, run_policy, run_static_heft, RunReport};
     pub use aheft_core::schedule::Schedule;
+    pub use aheft_core::service::{
+        make_fairness, run_service, ArrivalProcess, FairnessPolicy, ServiceConfig, ServiceReport,
+        FAIRNESS_NAMES,
+    };
     pub use aheft_core::whatif::{what_if, what_if_policy, WhatIfQuery};
     pub use aheft_core::{DynamicHeuristic, SlotPolicy};
     pub use aheft_gridsim::pool::PoolDynamics;

@@ -21,14 +21,23 @@
 //! execution trace (`record_trace = true`), so even a reordering of two
 //! same-timestamp trace records fails the gate.
 //!
+//! ISSUE 8 added `SERVICE_GOLDEN`: fingerprints of whole multi-tenant
+//! *service* runs (per-tenant latency percentile bits + an FNV-1a hash of
+//! the admission/preemption event trace) pinning the outer arrival /
+//! fairness / shared-pool layer the same way `GOLDEN` pins the inner
+//! engine.
+//!
 //! To regenerate after an *intentional* semantic change, run
 //! `GOLDEN_PRINT=1 cargo test --test policy_differential -- --nocapture`
-//! and replace the `GOLDEN` table.
+//! and replace the `GOLDEN` (and/or `SERVICE_GOLDEN`) table.
 
 use aheft::core::aheft::{AheftConfig, ReschedulableSet};
 use aheft::core::planner::ReschedulePolicy;
 use aheft::core::runner::{
     run_aheft_with, run_dynamic_with, run_static_heft_with, RunConfig, RunReport,
+};
+use aheft::core::service::{
+    make_fairness, run_service, ArrivalProcess, ServiceConfig, ServiceReport, FAIRNESS_NAMES,
 };
 use aheft::core::{
     make_recovery, run_named_policy, DynamicHeuristic, SlotPolicy, POLICY_NAMES, RECOVERY_NAMES,
@@ -279,6 +288,110 @@ fn trait_driven_engine_matches_prerefactor_fingerprints() {
         assert_eq!(
             gfp, fp,
             "{label}: run diverged from the pre-refactor engine\n  golden: {gfp}\n  got:    {fp}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant service fingerprints (ISSUE 8)
+// ---------------------------------------------------------------------
+
+/// Every observable of a service run folded into a comparable string:
+/// admission/completion counters, pool utilization bits, per-tenant
+/// latency percentile *bits*, and an FNV-1a hash over the debug rendering
+/// of the full admission/start/preemption/finish event trace — so even a
+/// reordering of two same-time service events fails the gate.
+fn service_fingerprint(r: &ServiceReport) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for ev in &r.trace {
+        for b in format!("{ev:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    let mut out = format!(
+        "adm={} fin={} fail={} inflight={} pre={} util={:016x}",
+        r.admitted,
+        r.finished,
+        r.failed,
+        r.in_flight,
+        r.preemptions,
+        r.utilization.to_bits()
+    );
+    for t in &r.tenants {
+        out.push_str(&format!(
+            " t{}=p50:{:016x}/p99:{:016x}",
+            t.tenant,
+            t.p50_latency.to_bits(),
+            t.p99_latency.to_bits()
+        ));
+    }
+    out.push_str(&format!(" trace={h:016x}"));
+    out
+}
+
+/// One fault-free and one chaos service scenario per fairness policy.
+fn compute_service_fingerprints() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for fairness in FAIRNESS_NAMES {
+        let calm = ServiceConfig {
+            tenants: 2,
+            arrivals: ArrivalProcess::Poisson { rate: 0.004 },
+            workflows: 6,
+            capacity: 4,
+            slice: 2,
+            fairness: make_fairness(fairness).expect("registered fairness"),
+            workload: RandomDagParams { jobs: 12, ..RandomDagParams::paper_default() },
+            seed: 11,
+            ..ServiceConfig::default()
+        };
+        out.push((format!("service-{fairness}-calm"), service_fingerprint(&run_service(&calm))));
+        let chaos = ServiceConfig {
+            tenants: 3,
+            arrivals: ArrivalProcess::Trace(vec![0.0, 40.0, 80.0, 120.0, 500.0, 900.0]),
+            run: RunConfig {
+                failures: FailureModel::Transient { mtbf: 400.0, mttr: 80.0 },
+                job_faults: JobFaultModel::CrashOnStart { prob: 0.10 },
+                recovery: make_recovery("retry").expect("registered recovery"),
+                ..RunConfig::default()
+            },
+            seed: 12,
+            ..calm
+        };
+        out.push((format!("service-{fairness}-chaos"), service_fingerprint(&run_service(&chaos))));
+    }
+    out
+}
+
+/// `(label, fingerprint)` pairs captured when the service layer landed.
+const SERVICE_GOLDEN: &[(&str, &str)] = &[
+    ("service-fcfs-calm", "adm=6 fin=6 fail=0 inflight=0 pre=0 util=3fe478ae2ede155e t0=p50:40821b2b14ec1dab/p99:40932f09bdcc5fe7 t1=p50:4092f06b8f049b1e/p99:409dd080fde0d907 trace=fa81a0ae07c97e34"),
+    ("service-fcfs-chaos", "adm=6 fin=6 fail=0 inflight=0 pre=0 util=3feb4eaa88b2c68f t0=p50:40a80b7639b783f2/p99:40b009f27982fc58 t1=p50:0000000000000000/p99:0000000000000000 t2=p50:4097bff4ae3c96fd/p99:40aa1c2845a89dfc trace=e215f87cd442111d"),
+    ("service-fair-share-calm", "adm=6 fin=6 fail=0 inflight=0 pre=0 util=3fe500202f90bc0e t0=p50:40821b2b14ec1dab/p99:409edb43a0f5a917 t1=p50:409169ca83865174/p99:409224471ab78fd7 trace=43c9efdc4f356cd3"),
+    ("service-fair-share-chaos", "adm=6 fin=6 fail=0 inflight=0 pre=0 util=3fed14a1a150361c t0=p50:40a1a63d23052d9d/p99:40a74df9d0628850 t1=p50:0000000000000000/p99:0000000000000000 t2=p50:4097bff4ae3c96fd/p99:40b1e4b0ae2d7a28 trace=1a2075aa75ee6f1c"),
+    ("service-priority-calm", "adm=6 fin=6 fail=0 inflight=0 pre=0 util=3fe478ae2ede155e t0=p50:40821b2b14ec1dab/p99:40932f09bdcc5fe7 t1=p50:4092f06b8f049b1e/p99:409dd080fde0d907 trace=fa81a0ae07c97e34"),
+    ("service-priority-chaos", "adm=6 fin=6 fail=0 inflight=0 pre=2 util=3fef67b36d84ecb6 t0=p50:40951fc673151760/p99:40a0379fe6e7e664 t1=p50:0000000000000000/p99:0000000000000000 t2=p50:40b18fcd1f0318f1/p99:40b19be0775ba560 trace=bf4c561958bd0997"),
+];
+
+#[test]
+fn multitenant_service_matches_golden_fingerprints() {
+    let got = compute_service_fingerprints();
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        for (label, fp) in &got {
+            println!("    (\"{label}\", \"{fp}\"),");
+        }
+        return;
+    }
+    assert_eq!(
+        SERVICE_GOLDEN.len(),
+        got.len(),
+        "service scenario grid changed; regenerate the golden table"
+    );
+    for ((glabel, gfp), (label, fp)) in SERVICE_GOLDEN.iter().zip(&got) {
+        assert_eq!(glabel, label, "service scenario order changed; regenerate the golden table");
+        assert_eq!(
+            gfp, fp,
+            "{label}: service run diverged from the golden capture\n  golden: {gfp}\n  got:    {fp}"
         );
     }
 }

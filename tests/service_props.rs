@@ -1,0 +1,207 @@
+//! Property-based gate for the multi-tenant service layer (ISSUE 8),
+//! mirroring `tests/recovery_props.rs`: random arrival traces × every
+//! fairness policy × fault levels must
+//!
+//! * terminate (the outer admission loop and the inner event pumps both
+//!   return for any contention pattern, including preemption storms);
+//! * conserve workflows: every admitted arrival is finished, failed, or
+//!   in flight at the horizon — nothing is lost or double-counted;
+//! * never starve under the non-preempting policies: the service is
+//!   work-conserving for `fcfs` and `fair-share`, so no workflow waits
+//!   longer than the total makespan of the whole arrival population —
+//!   a bounded max slowdown for every tenant;
+//! * stay bit-deterministic: the same scenario replayed gives the same
+//!   service trace.
+
+use aheft::core::runner::RunConfig;
+use aheft::core::service::{
+    make_fairness, run_service, ArrivalProcess, ServiceConfig, FAIRNESS_NAMES,
+};
+use aheft::gridsim::fault::{FailureModel, JobFaultModel};
+use aheft::workflow::generators::random::RandomDagParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One random service scenario: arrival pattern, pool shape, fault level.
+#[derive(Debug, Clone)]
+struct Scenario {
+    workflows: usize,
+    tenants: usize,
+    capacity: usize,
+    slice: usize,
+    rate: f64,
+    /// Arrival times when trace-driven; empty = Poisson at `rate`.
+    trace: Vec<f64>,
+    /// 0 = fault-free, 1 = transient churn + crash faults (both levels
+    /// finish every job eventually, keeping the conservation split
+    /// crisp: failures would only reclassify finished → failed).
+    fault_level: u8,
+    horizon: Option<f64>,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    // The vendored proptest stand-in has no collection/option strategies, so
+    // the trace is derived from a drawn length + seed and the horizon from a
+    // raw uniform (< 1500 means "drain", i.e. no horizon). Nested tuples keep
+    // each level within the stand-in's 8-element tuple limit.
+    (
+        (1usize..10, 1usize..4, 2usize..7, 1usize..3), // workflows/tenants/capacity/slice
+        (0.0005f64..0.01, 0usize..8, 0u8..2, 0f64..3000.0), // rate/trace len/faults/horizon
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(
+                (workflows, tenants, capacity, slice),
+                (rate, trace_len, fault_level, hraw),
+                seed,
+            )| {
+                let mut trace_rng = StdRng::seed_from_u64(seed ^ 0x7ace);
+                let mut trace: Vec<f64> =
+                    (0..trace_len).map(|_| trace_rng.random_range(0f64..2000.0)).collect();
+                // Trace arrivals must be sorted; sorting raw uniforms keeps
+                // the strategy simple.
+                trace.sort_by(f64::total_cmp);
+                Scenario {
+                    workflows,
+                    tenants,
+                    capacity,
+                    slice: slice.min(capacity),
+                    rate,
+                    trace,
+                    fault_level,
+                    horizon: if hraw < 1500.0 { None } else { Some(hraw) },
+                    seed,
+                }
+            },
+        )
+}
+
+fn service_config(s: &Scenario, fairness: &str) -> ServiceConfig {
+    let run = if s.fault_level == 0 {
+        RunConfig::default()
+    } else {
+        RunConfig {
+            failures: FailureModel::Transient { mtbf: 400.0, mttr: 80.0 },
+            job_faults: JobFaultModel::CrashOnStart { prob: 0.10 },
+            ..RunConfig::default()
+        }
+    };
+    ServiceConfig {
+        tenants: s.tenants,
+        arrivals: if s.trace.is_empty() {
+            ArrivalProcess::Poisson { rate: s.rate }
+        } else {
+            ArrivalProcess::Trace(s.trace.clone())
+        },
+        workflows: s.workflows,
+        capacity: s.capacity,
+        slice: s.slice,
+        fairness: make_fairness(fairness).expect("registered fairness"),
+        workload: RandomDagParams { jobs: 8, ..RandomDagParams::paper_default() },
+        run,
+        horizon: s.horizon,
+        seed: s.seed,
+        ..ServiceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_fairness_policy_terminates_and_conserves_workflows(s in arb_scenario()) {
+        for fairness in FAIRNESS_NAMES {
+            let cfg = service_config(&s, fairness);
+            // Termination is the first property: a stuck admission loop
+            // (or a preemption livelock) hangs here instead of returning.
+            let r = run_service(&cfg);
+            let label = format!("{fairness} ({s:?})");
+
+            // Conservation: admitted = finished + failed + in-flight.
+            prop_assert_eq!(
+                r.admitted, r.finished + r.failed + r.in_flight,
+                "workflow conservation: {}", &label
+            );
+            prop_assert!(r.admitted <= s.workflows, "{}", &label);
+            if s.horizon.is_none() {
+                prop_assert_eq!(r.in_flight, 0, "drain leaves work: {}", &label);
+            }
+
+            // Per-workflow coherence.
+            prop_assert_eq!(r.outcomes.len(), r.admitted, "{}", &label);
+            for o in &r.outcomes {
+                if let Some(start) = o.first_start {
+                    prop_assert!(start >= o.arrival, "{}", &label);
+                }
+                if let Some(finish) = o.finish {
+                    prop_assert!(finish >= o.first_start.expect("finished implies started"),
+                        "{}", &label);
+                    prop_assert!(o.makespan >= 0.0 && o.makespan.is_finite(), "{}", &label);
+                }
+                if let Some(slow) = o.slowdown() {
+                    prop_assert!(slow >= 1.0 - 1e-9, "slowdown below 1: {}", &label);
+                }
+            }
+
+            // Tenant accounting sums back to the service totals.
+            let admitted: usize = r.tenants.iter().map(|t| t.admitted).sum();
+            let completed: usize = r.tenants.iter().map(|t| t.completed).sum();
+            prop_assert_eq!(admitted, r.admitted, "{}", &label);
+            prop_assert_eq!(completed, r.finished + r.failed, "{}", &label);
+            prop_assert!((0.0..=1.0).contains(&r.utilization), "{}", &label);
+
+            // Determinism: replaying the scenario reproduces the trace.
+            let again = run_service(&cfg);
+            prop_assert_eq!(
+                format!("{:?}", r.trace), format!("{:?}", again.trace),
+                "service trace is not deterministic: {}", &label
+            );
+        }
+    }
+
+    #[test]
+    fn non_preempting_policies_never_starve_a_tenant(s in arb_scenario()) {
+        // Drained, fault-free scenarios make the bound exact: fcfs and
+        // fair-share never discard work, and whenever a workflow waits at
+        // least one other workflow is running, so nobody's response time
+        // exceeds the summed makespan of the entire population. That is a
+        // hard per-tenant starvation bound; `priority` deliberately
+        // violates it (discarded preempted work), which is why it is not
+        // in this property.
+        let s = Scenario { horizon: None, fault_level: 0, ..s };
+        for fairness in ["fcfs", "fair-share"] {
+            let cfg = service_config(&s, fairness);
+            let r = run_service(&cfg);
+            let mut total_makespan = 0.0f64;
+            for o in &r.outcomes {
+                total_makespan += o.makespan;
+            }
+            for o in &r.outcomes {
+                let latency = o.latency().expect("drained run completes everything");
+                prop_assert!(
+                    latency <= total_makespan + 1e-6,
+                    "{fairness}: workflow {} waited {latency} > total work {total_makespan} ({s:?})",
+                    o.index
+                );
+            }
+            // The same bound, phrased per tenant: every tenant's max
+            // slowdown is bounded by total work over its smallest job.
+            let min_makespan = r
+                .outcomes
+                .iter()
+                .map(|o| o.makespan)
+                .fold(f64::INFINITY, f64::min);
+            for t in &r.tenants {
+                if t.completed > 0 {
+                    prop_assert!(
+                        t.max_slowdown <= total_makespan / min_makespan + 1e-6,
+                        "{fairness}: tenant {} slowdown {} unbounded ({s:?})",
+                        t.tenant, t.max_slowdown
+                    );
+                }
+            }
+        }
+    }
+}

@@ -191,6 +191,33 @@ fn robustness_chaos_matrix_is_thread_and_shard_invariant() {
 }
 
 #[test]
+fn multitenant_service_sweep_is_thread_and_shard_invariant() {
+    // The multi-tenant service sweep nests a second event loop (arrivals,
+    // admissions, preemptions) inside each case; its case seeds are still
+    // pure functions of the cell coordinates and the fairness *name*, so
+    // the same byte-identity contract holds — at any thread count and
+    // under a 2-way shard split with unequal worker counts.
+    let full = csv_rows(&experiments::multitenant(Scale::Smoke, &threads(4), &[]));
+    assert_eq!(full.len(), 27, "3 rates x 3 tenant counts x 3 fairness policies");
+    for row in &full {
+        assert_eq!(row.split(',').count(), 10, "service metrics present in every row: {row}");
+    }
+    assert_eq!(full, csv_rows(&experiments::multitenant(Scale::Smoke, &threads(1), &[])));
+    let s0 = csv_rows(&experiments::multitenant(
+        Scale::Smoke,
+        &SweepConfig { shard: Shard { index: 0, count: 2 }, ..SweepConfig::with_threads(2) },
+        &[],
+    ));
+    let s1 = csv_rows(&experiments::multitenant(
+        Scale::Smoke,
+        &SweepConfig { shard: Shard { index: 1, count: 2 }, ..SweepConfig::with_threads(4) },
+        &[],
+    ));
+    assert_eq!(s0.len() + s1.len(), full.len(), "shards partition the rows");
+    assert_eq!(merge_shards(&[s0, s1]), full, "2-way shard union != full run");
+}
+
+#[test]
 fn ablations_are_thread_invariant_and_shardable() {
     let seq: Vec<Vec<String>> =
         experiments::ablations(Scale::Smoke, &threads(1)).iter().map(csv_rows).collect();
