@@ -41,13 +41,77 @@
 //! the resource loop — O(preds) state lookups instead of O(R · preds) —
 //! and the inner loop touches only dense arrays.
 
+use std::sync::{Mutex, RwLock};
+
 use aheft_gridsim::executor::{JobState, Snapshot, SnapshotView};
 use aheft_gridsim::plan::{Assignment, Plan};
 use aheft_gridsim::reservation::{SlotPolicy, SlotTable};
+use aheft_parcomp::pool_scope;
 use aheft_workflow::rank::priority_order_from_ranks_into;
 use aheft_workflow::rank_engine::RankEngine;
 use aheft_workflow::{CostTable, Dag, EdgeId, JobId, ResourceId};
 use serde::{Deserialize, Serialize};
+
+/// Auto-mode cell count (`jobs · total_resources`) from which a pass builds
+/// the row-major cost mirror: below it the column-major table fits low
+/// cache levels and the transpose would cost more than it saves.
+const MIRROR_MIN_CELLS: usize = 1 << 19;
+
+/// Auto-mode cell count (`jobs · alive`) at or below which Eq. 2 takes the
+/// direct per-resource path: on tiny instances (the BENCH_RESCHED
+/// `v20_r10` regression) the group-fold constants dominate the work they
+/// save. Both paths produce bit-identical `ready` values.
+const DIRECT_EQ2_MAX_CELLS: usize = 1024;
+
+/// Default minimum alive-pool width before the EFT scan fans out to the
+/// worker pool; below it the per-job dispatch barrier dwarfs the scan.
+const DEFAULT_EFT_PAR_MIN: usize = 256;
+
+/// Cost-kernel layout selection for one scheduling pass. Every mode
+/// produces **bit-identical schedules** (pinned by
+/// `tests/parallel_identity.rs`); the knob exists so benches can measure
+/// the tiled kernels against the pre-tiling baseline and identity tests
+/// can force the tiled path onto small instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Size-gated: tiny instances take the direct Eq. 2 path, large ones
+    /// build the row-major mirror, everything else runs the group folds
+    /// against the column-major table.
+    #[default]
+    Auto,
+    /// The pre-tiling code path regardless of size: group folds, strided
+    /// column-major EFT scan, no mirror (the benches' "before" arm).
+    ForceBaseline,
+    /// Always build and scan the row-major mirror, even when the Auto gate
+    /// would skip it.
+    ForceTiled,
+}
+
+/// Per-worker `(eft, start, resource)` first-minimum slots of the parallel
+/// EFT scan, kept on the workspace so they are reused across passes.
+/// Cloning a workspace clones no transient scan state — the clone gets
+/// fresh slots (`Mutex` is not `Clone`; contents live within one dispatch).
+#[derive(Debug, Default)]
+struct ScanSlots(Vec<Mutex<(f64, f64, u32)>>);
+
+impl Clone for ScanSlots {
+    fn clone(&self) -> Self {
+        Self(self.0.iter().map(|_| Mutex::new((f64::INFINITY, 0.0, u32::MAX))).collect())
+    }
+}
+
+/// Mutable per-pass state shared with the parallel EFT scan workers: moved
+/// out of the workspace for the duration of the placement loop and guarded
+/// by one `RwLock` — workers take read locks during a dispatch, the driver
+/// takes the write lock only between dispatches (Eq. 2 prep, reservation).
+#[derive(Default)]
+struct ScanState {
+    tables: Vec<SlotTable>,
+    floor: Vec<f64>,
+    ready: Vec<f64>,
+    /// Index of the job currently being scanned.
+    job: usize,
+}
 
 /// Which not-yet-finished jobs a reschedule may move.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -104,7 +168,7 @@ enum PredFea {
 /// [`crate::whatif::what_if_with`]. Every buffer is dense and indexed by
 /// job or resource id; nothing is allocated per pass once the buffers have
 /// grown to the problem size.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ScheduleWorkspace {
     /// Incrementally maintained `rank_u` against the current pool: pool
     /// deltas are applied in `O(jobs + edges)` instead of a from-scratch
@@ -142,6 +206,49 @@ pub struct ScheduleWorkspace {
     fin_sorted: Vec<u32>,
     /// Assignments of the most recent pass, in placement (rank) order.
     assignments: Vec<Assignment>,
+    /// Row-major mirror of the cost table (`mirror[job · total_resources +
+    /// r]`), so the R-wide EFT scan reads one contiguous cache line stream
+    /// per job instead of `jobs`-strided column probes. Values are exact
+    /// copies, so mirror-fed scans are bit-identical to column reads.
+    mirror: Vec<f64>,
+    /// [`CostTable::state_id`] the mirror was built from; warm passes with
+    /// an unchanged table reuse the mirror for free.
+    mirror_key: Option<u64>,
+    /// Worker count for the parallel rank sweep and EFT scan; 1 (the
+    /// default) runs the exact sequential code path.
+    threads: usize,
+    /// Cost-kernel selection (bench/test override; `Auto` in production).
+    kernel: KernelMode,
+    /// Minimum alive-pool width before the EFT scan parallelises.
+    eft_par_min: usize,
+    /// Per-worker reduction slots of the parallel EFT scan.
+    scan_slots: ScanSlots,
+}
+
+impl Default for ScheduleWorkspace {
+    fn default() -> Self {
+        Self {
+            rank_engine: RankEngine::default(),
+            order: Vec::new(),
+            order_epoch: None,
+            tables: Vec::new(),
+            floor: Vec::new(),
+            slot_res: Vec::new(),
+            slot_time: Vec::new(),
+            pred_fea: Vec::new(),
+            ready: Vec::new(),
+            exc_val: Vec::new(),
+            exc_touched: Vec::new(),
+            fin_sorted: Vec::new(),
+            assignments: Vec::new(),
+            mirror: Vec::new(),
+            mirror_key: None,
+            threads: 1,
+            kernel: KernelMode::Auto,
+            eft_par_min: DEFAULT_EFT_PAR_MIN,
+            scan_slots: ScanSlots::default(),
+        }
+    }
 }
 
 impl ScheduleWorkspace {
@@ -149,6 +256,41 @@ impl ScheduleWorkspace {
     /// the first passes and are reused afterwards.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the worker count for the parallel rank sweep and EFT scan.
+    /// `threads <= 1` (the default) runs the exact sequential code path;
+    /// any `N` produces schedules byte-identical to `threads = 1`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current worker count (see [`Self::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Override the cost-kernel selection (benches and identity tests; the
+    /// `Auto` default size-gates per pass). Never serialized.
+    pub fn set_kernel_mode(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
+    }
+
+    /// Current cost-kernel selection.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Override the minimum alive-pool width for the parallel EFT scan
+    /// (tests force tiny pools through the pool machinery with `1`).
+    pub fn set_eft_par_min(&mut self, min: usize) {
+        self.eft_par_min = min.max(1);
+    }
+
+    /// Override the rank engine's minimum level width for the parallel
+    /// sweep (tests force tiny DAGs through the pool machinery with `1`).
+    pub fn set_rank_par_min(&mut self, min: usize) {
+        self.rank_engine.set_level_par_min(min);
     }
 
     /// Assignments produced by the most recent scheduling pass, in
@@ -258,12 +400,41 @@ pub fn aheft_schedule_into(
     // Paper Fig. 3, lines 2-3: upward ranks against the current pool, jobs
     // sorted by non-increasing rank (a topological order). The engine
     // applies pool deltas incrementally and prunes finished jobs; when no
-    // rank changed (epoch stable) the previous sort is still exact.
-    let epoch = ws.rank_engine.update(dag, costs, alive, |j| view.is_finished(j));
+    // rank changed (epoch stable) the previous sort is still exact. With
+    // `threads > 1` the reverse-topo sweep fans dependency levels over the
+    // worker pool (bit-identical to the sequential sweep by construction).
+    let threads = ws.threads.max(1);
+    let epoch = ws.rank_engine.update_par(dag, costs, alive, |j| view.is_finished(j), threads);
     if ws.order_epoch != Some(epoch) {
         priority_order_from_ranks_into(dag, ws.rank_engine.ranks(), &mut ws.order);
         ws.order_epoch = Some(epoch);
     }
+
+    // Kernel gates. Every combination below yields bit-identical schedules
+    // (see `KernelMode`); the gates only pick which arithmetic-equivalent
+    // kernel streams the costs.
+    let use_group = match ws.kernel {
+        KernelMode::ForceBaseline => true,
+        KernelMode::Auto | KernelMode::ForceTiled => {
+            jobs.saturating_mul(alive.len()) > DIRECT_EQ2_MAX_CELLS
+        }
+    };
+    let mirror_active = match ws.kernel {
+        KernelMode::ForceBaseline => false,
+        KernelMode::ForceTiled => true,
+        KernelMode::Auto => jobs.saturating_mul(total_resources) >= MIRROR_MIN_CELLS,
+    };
+    if mirror_active && ws.mirror_key != Some(costs.state_id()) {
+        costs.write_row_major_into(&mut ws.mirror);
+        ws.mirror_key = Some(costs.state_id());
+    }
+    let par_scan = threads > 1 && mirror_active && alive.len() >= ws.eft_par_min;
+    // EFT lower-bound prune (tiled kernels only — `ForceBaseline` keeps the
+    // pre-tiling scan for A/B benches). `start >= max(ready, floor)`, so
+    // `eft = start + w >= est + w`; a candidate only replaces the running
+    // best under strict `<`, so skipping every resource with
+    // `est + w >= best` selects the identical (eft, start, resource).
+    let prune = ws.kernel != KernelMode::ForceBaseline;
 
     if ws.tables.len() < total_resources {
         ws.tables.resize_with(total_resources, SlotTable::new);
@@ -282,183 +453,77 @@ pub fn aheft_schedule_into(
     ws.exc_touched.clear();
     ws.assignments.clear();
 
-    for oi in 0..ws.order.len() {
-        let job = ws.order[oi];
-        // Pinned jobs were pre-filled in `slot_res`; placed jobs cannot
-        // recur (each job appears once in the order).
-        if view.is_finished(job) || ws.slot_res[job.idx()] != UNPLACED {
-            continue;
-        }
-        // Eq. 1 case of each predecessor, classified once per job instead
-        // of once per (job, resource).
-        ws.pred_fea.clear();
-        for &(p, e) in dag.preds(job) {
-            ws.pred_fea.push(if let Some((home, aft)) = view.finished_on(p) {
-                PredFea::Finished { home, aft, edge: e, retransmit: clock + costs.comm(e) }
-            } else {
-                let res = ws.slot_res[p.idx()];
-                assert!(res != UNPLACED, "rank_u order schedules predecessors before successors");
-                PredFea::Scheduled {
-                    r: ResourceId(res),
-                    t: ws.slot_time[p.idx()],
-                    comm: costs.comm(e),
-                }
-            });
-        }
-        // Inner max of Eq. 2, computed as one dense streaming pass per
-        // predecessor over the alive set (a predecessor's case was already
-        // classified; its per-resource value differs from a single base
-        // only at exceptional resources — the producer's home and the
-        // committed transfer destinations — so each edge's transfer ledger
-        // is walked once per job instead of probed per resource). Folding
-        // per predecessor in classification order with the same strict `>`
-        // keeps every `ready` value bit-identical to the per-resource
-        // rederivation.
-        ws.ready.clear();
-        ws.ready.resize(total_resources, clock);
-        // Case 3 / otherwise (pinned or (re)scheduled predecessors) in one
-        // closed-form group fold: such a predecessor contributes `t` on its
-        // own resource and `t + comm` elsewhere, and `t <= t + comm`, so
-        // the group's per-resource max is the largest `t + comm` (`top1`)
-        // everywhere except on `top1`'s own resource, where the runner-up
-        // `t + comm` competes with the local `t` terms. O(preds + R)
-        // instead of O(preds * R), and exactly the same max values.
-        let mut top1 = f64::NEG_INFINITY;
-        let mut top1_rp = ResourceId(u32::MAX);
-        for pf in &ws.pred_fea {
-            if let PredFea::Scheduled { r, t, comm } = *pf {
-                let v = t + comm;
-                if v > top1 {
-                    top1 = v;
-                    top1_rp = r;
-                }
+    if par_scan {
+        place_jobs_parallel(
+            PlacementCtx {
+                dag,
+                costs,
+                view,
+                alive,
+                config,
+                clock,
+                total_resources,
+                use_group,
+                threads,
+            },
+            ws,
+        );
+    } else {
+        for oi in 0..ws.order.len() {
+            let job = ws.order[oi];
+            // Pinned jobs were pre-filled in `slot_res`; placed jobs cannot
+            // recur (each job appears once in the order).
+            if view.is_finished(job) || ws.slot_res[job.idx()] != UNPLACED {
+                continue;
             }
-        }
-        if top1 > f64::NEG_INFINITY {
-            let mut local_at_top = f64::NEG_INFINITY; // max t of preds on top1_rp
-            let mut top2 = f64::NEG_INFINITY; // max t + comm of preds elsewhere
-            for pf in &ws.pred_fea {
-                if let PredFea::Scheduled { r, t, comm } = *pf {
-                    if r == top1_rp {
-                        if t > local_at_top {
-                            local_at_top = t;
-                        }
-                    } else {
-                        let v = t + comm;
-                        if v > top2 {
-                            top2 = v;
-                        }
-                    }
-                }
-            }
-            let special = local_at_top.max(top2);
-            for &r in alive {
-                let v = if r == top1_rp { special } else { top1 };
-                if v > ws.ready[r.idx()] {
-                    ws.ready[r.idx()] = v;
-                }
-            }
-        }
-        // Finished predecessors (Cases 1–2) as one group: predecessor `m`
-        // contributes its retransmission arrival `clock + c_m` everywhere
-        // except at its *exceptional* resources — the producer's home (AFT)
-        // and committed transfer destinations (ledger arrival). So per
-        // resource the group max is
-        //   max( largest retransmit among preds NOT excepting r,
-        //        largest exceptional value at r ).
-        // The second term accumulates in a dense max-overlay; the first is
-        // the globally largest retransmit, except where that predecessor
-        // itself excepts `r`, found by walking the preds in non-increasing
-        // retransmit order until one does not except `r` (depth ~1: a pred
-        // excepts only a couple of resources). O(F log F + exceptions + R)
-        // per job instead of O(F · R) ledger probes.
-        ws.fin_sorted.clear();
-        for (k, pf) in ws.pred_fea.iter().enumerate() {
-            if let PredFea::Finished { home, aft, edge, .. } = *pf {
-                ws.fin_sorted.push(k as u32);
-                let mut touch = |r: ResourceId, v: f64| {
-                    if let Some(slot) = ws.exc_val.get_mut(r.idx()) {
-                        if *slot == f64::NEG_INFINITY {
-                            ws.exc_touched.push(r.idx() as u32);
-                        }
-                        if v > *slot {
-                            *slot = v;
-                        }
-                    }
-                };
-                touch(home, aft);
-                for &(rt, arrival) in view.transfers_of(edge) {
-                    if rt != home {
-                        touch(rt, arrival);
-                    }
-                }
-            }
-        }
-        if !ws.fin_sorted.is_empty() {
-            let pred_fea = &ws.pred_fea;
-            let fin_retransmit = |k: u32| match pred_fea[k as usize] {
-                PredFea::Finished { retransmit, .. } => retransmit,
-                PredFea::Scheduled { .. } => unreachable!("fin_sorted holds finished preds"),
-            };
-            ws.fin_sorted.sort_unstable_by(|&a, &b| {
-                // analyzer::allow(panic-in-hot-path): retransmit times are clock + comm
-                // cost, both validated finite at construction; a NaN here is state
-                // corruption and must stop the pass rather than silently reorder it.
-                fin_retransmit(b).partial_cmp(&fin_retransmit(a)).expect("times are finite")
-            });
-            let top = fin_retransmit(ws.fin_sorted[0]);
-            for &r in alive {
-                let exc = ws.exc_val[r.idx()];
-                let base = if exc == f64::NEG_INFINITY {
-                    top // no predecessor excepts r
-                } else {
-                    let mut base = f64::NEG_INFINITY;
-                    for &k in &ws.fin_sorted {
-                        let PredFea::Finished { home, edge, retransmit, .. } = pred_fea[k as usize]
-                        else {
-                            unreachable!("fin_sorted holds finished preds")
-                        };
-                        let excepts =
-                            home == r || view.transfers_of(edge).iter().any(|&(rt, _)| rt == r);
-                        if !excepts {
-                            base = retransmit;
-                            break;
-                        }
-                    }
-                    base
-                };
-                let v = base.max(exc);
-                if v > ws.ready[r.idx()] {
-                    ws.ready[r.idx()] = v;
-                }
-            }
-            for &i in &ws.exc_touched {
-                ws.exc_val[i as usize] = f64::NEG_INFINITY;
-            }
-            ws.exc_touched.clear();
-        }
-        let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
-        for &r in alive {
-            let w = costs.comp(job, r);
-            let start = ws.tables[r.idx()].earliest_start(
-                ws.ready[r.idx()].max(ws.floor[r.idx()]),
-                w,
-                config.slot_policy,
+            fill_ready_for_job(
+                dag,
+                costs,
+                view,
+                alive,
+                clock,
+                job,
+                use_group,
+                total_resources,
+                &ws.slot_res,
+                &ws.slot_time,
+                &mut ws.pred_fea,
+                &mut ws.fin_sorted,
+                &mut ws.exc_val,
+                &mut ws.exc_touched,
+                &mut ws.ready,
             );
-            let eft = start + w;
-            // Strict `<` with in-order iteration = deterministic lowest-id
-            // tie-break, matching HEFT's first-minimum selection.
-            if best.is_none_or(|(b, _, _)| eft < b) {
-                best = Some((eft, start, r));
+            let mut best: Option<(f64, f64, ResourceId)> = None; // (eft, start, resource)
+            for &r in alive {
+                let w = if mirror_active {
+                    ws.mirror[job.idx() * total_resources + r.idx()]
+                } else {
+                    costs.comp(job, r)
+                };
+                let est = ws.ready[r.idx()].max(ws.floor[r.idx()]);
+                if prune {
+                    if let Some((b, _, _)) = best {
+                        if est + w >= b {
+                            continue;
+                        }
+                    }
+                }
+                let start = ws.tables[r.idx()].earliest_start(est, w, config.slot_policy);
+                let eft = start + w;
+                // Strict `<` with in-order iteration = deterministic lowest-id
+                // tie-break, matching HEFT's first-minimum selection.
+                if best.is_none_or(|(b, _, _)| eft < b) {
+                    best = Some((eft, start, r));
+                }
             }
+            // analyzer::allow(panic-in-hot-path): `best` is Some for any non-empty
+            // `alive`, which the pass asserts on entry (documented panic contract).
+            let (eft, start, r) = best.expect("alive is non-empty");
+            ws.tables[r.idx()].reserve(start, eft - start, job);
+            ws.slot_res[job.idx()] = r.0;
+            ws.slot_time[job.idx()] = eft;
+            ws.assignments.push(Assignment { job, resource: r, start, finish: eft });
         }
-        // analyzer::allow(panic-in-hot-path): `best` is Some for any non-empty
-        // `alive`, which the pass asserts on entry (documented panic contract).
-        let (eft, start, r) = best.expect("alive is non-empty");
-        ws.tables[r.idx()].reserve(start, eft - start, job);
-        ws.slot_res[job.idx()] = r.0;
-        ws.slot_time[job.idx()] = eft;
-        ws.assignments.push(Assignment { job, resource: r, start, finish: eft });
     }
 
     // Predicted whole-DAG makespan (Eq. 4 over every job's completion).
@@ -469,6 +534,361 @@ pub fn aheft_schedule_into(
         }
     }
     predicted.max(pinned_max)
+}
+
+/// Immutable per-pass inputs shared by the placement loops.
+#[derive(Clone, Copy)]
+struct PlacementCtx<'a> {
+    dag: &'a Dag,
+    costs: &'a CostTable,
+    view: SnapshotView<'a>,
+    alive: &'a [ResourceId],
+    config: &'a AheftConfig,
+    clock: f64,
+    total_resources: usize,
+    use_group: bool,
+    threads: usize,
+}
+
+/// Classify every predecessor's Eq. 1 case into `pred_fea` and fill
+/// `ready` — the inner max of Eq. 2 per alive resource — for `job`.
+///
+/// Two strategies, selected by `use_group`, both producing **bit-identical**
+/// `ready` values (each entry is a max over the same value multiset, and
+/// max over f64 copies is order-independent):
+///
+/// * the closed-form **group folds** (O(preds + R) per job), which stream
+///   per-group aggregates over the alive set;
+/// * the **direct** per-resource rederivation (O(preds · R)), which skips
+///   the group machinery — cheaper below [`DIRECT_EQ2_MAX_CELLS`] cells,
+///   where the fold constants dominate the work they save (the
+///   BENCH_RESCHED `v20_r10` tiny-instance regression).
+#[allow(clippy::too_many_arguments)]
+// analyzer: hot
+fn fill_ready_for_job(
+    dag: &Dag,
+    costs: &CostTable,
+    view: SnapshotView<'_>,
+    alive: &[ResourceId],
+    clock: f64,
+    job: JobId,
+    use_group: bool,
+    total_resources: usize,
+    slot_res: &[u32],
+    slot_time: &[f64],
+    pred_fea: &mut Vec<PredFea>,
+    fin_sorted: &mut Vec<u32>,
+    exc_val: &mut [f64],
+    exc_touched: &mut Vec<u32>,
+    ready: &mut Vec<f64>,
+) {
+    // Eq. 1 case of each predecessor, classified once per job instead
+    // of once per (job, resource).
+    pred_fea.clear();
+    for &(p, e) in dag.preds(job) {
+        pred_fea.push(if let Some((home, aft)) = view.finished_on(p) {
+            PredFea::Finished { home, aft, edge: e, retransmit: clock + costs.comm(e) }
+        } else {
+            let res = slot_res[p.idx()];
+            assert!(res != UNPLACED, "rank_u order schedules predecessors before successors");
+            PredFea::Scheduled { r: ResourceId(res), t: slot_time[p.idx()], comm: costs.comm(e) }
+        });
+    }
+    ready.clear();
+    ready.resize(total_resources, clock);
+    if !use_group {
+        // Direct path: rederive each predecessor's per-resource value.
+        // A scheduled predecessor on `pr` contributes `t` there, `t + comm`
+        // elsewhere; a finished one contributes its AFT on its home, a
+        // committed transfer's arrival where the ledger has one, and the
+        // retransmission arrival everywhere else — exactly the multiset the
+        // group folds below aggregate, so the maxes match bit for bit.
+        for &r in alive {
+            let mut v = clock;
+            for pf in pred_fea.iter() {
+                let cand = match *pf {
+                    PredFea::Scheduled { r: pr, t, comm } => {
+                        if pr == r {
+                            t
+                        } else {
+                            t + comm
+                        }
+                    }
+                    PredFea::Finished { home, aft, edge, retransmit } => {
+                        if r == home {
+                            aft
+                        } else {
+                            let mut arrival = f64::NEG_INFINITY;
+                            let mut committed = false;
+                            for &(rt, at) in view.transfers_of(edge) {
+                                if rt == r {
+                                    committed = true;
+                                    if at > arrival {
+                                        arrival = at;
+                                    }
+                                }
+                            }
+                            if committed {
+                                arrival
+                            } else {
+                                retransmit
+                            }
+                        }
+                    }
+                };
+                if cand > v {
+                    v = cand;
+                }
+            }
+            ready[r.idx()] = v;
+        }
+        return;
+    }
+    // Inner max of Eq. 2, computed as one dense streaming pass per
+    // predecessor over the alive set (a predecessor's case was already
+    // classified; its per-resource value differs from a single base
+    // only at exceptional resources — the producer's home and the
+    // committed transfer destinations — so each edge's transfer ledger
+    // is walked once per job instead of probed per resource). Folding
+    // per predecessor in classification order with the same strict `>`
+    // keeps every `ready` value bit-identical to the per-resource
+    // rederivation.
+    //
+    // Case 3 / otherwise (pinned or (re)scheduled predecessors) in one
+    // closed-form group fold: such a predecessor contributes `t` on its
+    // own resource and `t + comm` elsewhere, and `t <= t + comm`, so
+    // the group's per-resource max is the largest `t + comm` (`top1`)
+    // everywhere except on `top1`'s own resource, where the runner-up
+    // `t + comm` competes with the local `t` terms. O(preds + R)
+    // instead of O(preds * R), and exactly the same max values.
+    let mut top1 = f64::NEG_INFINITY;
+    let mut top1_rp = ResourceId(u32::MAX);
+    for pf in pred_fea.iter() {
+        if let PredFea::Scheduled { r, t, comm } = *pf {
+            let v = t + comm;
+            if v > top1 {
+                top1 = v;
+                top1_rp = r;
+            }
+        }
+    }
+    if top1 > f64::NEG_INFINITY {
+        let mut local_at_top = f64::NEG_INFINITY; // max t of preds on top1_rp
+        let mut top2 = f64::NEG_INFINITY; // max t + comm of preds elsewhere
+        for pf in pred_fea.iter() {
+            if let PredFea::Scheduled { r, t, comm } = *pf {
+                if r == top1_rp {
+                    if t > local_at_top {
+                        local_at_top = t;
+                    }
+                } else {
+                    let v = t + comm;
+                    if v > top2 {
+                        top2 = v;
+                    }
+                }
+            }
+        }
+        let special = local_at_top.max(top2);
+        for &r in alive {
+            let v = if r == top1_rp { special } else { top1 };
+            if v > ready[r.idx()] {
+                ready[r.idx()] = v;
+            }
+        }
+    }
+    // Finished predecessors (Cases 1–2) as one group: predecessor `m`
+    // contributes its retransmission arrival `clock + c_m` everywhere
+    // except at its *exceptional* resources — the producer's home (AFT)
+    // and committed transfer destinations (ledger arrival). So per
+    // resource the group max is
+    //   max( largest retransmit among preds NOT excepting r,
+    //        largest exceptional value at r ).
+    // The second term accumulates in a dense max-overlay; the first is
+    // the globally largest retransmit, except where that predecessor
+    // itself excepts `r`, found by walking the preds in non-increasing
+    // retransmit order until one does not except `r` (depth ~1: a pred
+    // excepts only a couple of resources). O(F log F + exceptions + R)
+    // per job instead of O(F · R) ledger probes.
+    fin_sorted.clear();
+    for (k, pf) in pred_fea.iter().enumerate() {
+        if let PredFea::Finished { home, aft, edge, .. } = *pf {
+            fin_sorted.push(k as u32);
+            let mut touch = |r: ResourceId, v: f64| {
+                if let Some(slot) = exc_val.get_mut(r.idx()) {
+                    if *slot == f64::NEG_INFINITY {
+                        exc_touched.push(r.idx() as u32);
+                    }
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            };
+            touch(home, aft);
+            for &(rt, arrival) in view.transfers_of(edge) {
+                if rt != home {
+                    touch(rt, arrival);
+                }
+            }
+        }
+    }
+    if !fin_sorted.is_empty() {
+        let fin_retransmit = |k: u32| match pred_fea[k as usize] {
+            PredFea::Finished { retransmit, .. } => retransmit,
+            PredFea::Scheduled { .. } => unreachable!("fin_sorted holds finished preds"),
+        };
+        fin_sorted.sort_unstable_by(|&a, &b| {
+            // analyzer::allow(panic-in-hot-path): retransmit times are clock + comm
+            // cost, both validated finite at construction; a NaN here is state
+            // corruption and must stop the pass rather than silently reorder it.
+            fin_retransmit(b).partial_cmp(&fin_retransmit(a)).expect("times are finite")
+        });
+        let top = fin_retransmit(fin_sorted[0]);
+        for &r in alive {
+            let exc = exc_val[r.idx()];
+            let base = if exc == f64::NEG_INFINITY {
+                top // no predecessor excepts r
+            } else {
+                let mut base = f64::NEG_INFINITY;
+                for &k in fin_sorted.iter() {
+                    let PredFea::Finished { home, edge, retransmit, .. } = pred_fea[k as usize]
+                    else {
+                        unreachable!("fin_sorted holds finished preds")
+                    };
+                    let excepts =
+                        home == r || view.transfers_of(edge).iter().any(|&(rt, _)| rt == r);
+                    if !excepts {
+                        base = retransmit;
+                        break;
+                    }
+                }
+                base
+            };
+            let v = base.max(exc);
+            if v > ready[r.idx()] {
+                ready[r.idx()] = v;
+            }
+        }
+        for &i in exc_touched.iter() {
+            exc_val[i as usize] = f64::NEG_INFINITY;
+        }
+        exc_touched.clear();
+    }
+}
+
+/// The placement loop with the R-wide EFT scan fanned over a persistent
+/// [`pool_scope`] worker pool. Per job the driver prepares Eq. 2 state
+/// under the write lock, dispatches the alive range, and reduces the
+/// per-worker chunk minima **in worker order with strict `<`** — workers
+/// cover contiguous in-order chunks of `alive` ([`aheft_parcomp::worker_slice`])
+/// and each records its chunk-local first minimum, so the reduction equals
+/// the sequential first-minimum (lowest-id tie-break) exactly, making
+/// `threads = N` byte-identical to `threads = 1`.
+// analyzer: hot
+fn place_jobs_parallel(ctx: PlacementCtx<'_>, ws: &mut ScheduleWorkspace) {
+    let PlacementCtx {
+        dag,
+        costs,
+        view,
+        alive,
+        config,
+        clock,
+        total_resources,
+        use_group,
+        threads,
+    } = ctx;
+    if ws.scan_slots.0.len() < threads {
+        // analyzer::allow(alloc-in-hot-path): one-time pool-slot growth, reused
+        // across every subsequent pass (zero-alloc contract covers threads = 1).
+        ws.scan_slots.0.resize_with(threads, || Mutex::new((f64::INFINITY, 0.0, u32::MAX)));
+    }
+    let scan = RwLock::new(ScanState {
+        tables: std::mem::take(&mut ws.tables),
+        floor: std::mem::take(&mut ws.floor),
+        ready: std::mem::take(&mut ws.ready),
+        job: 0,
+    });
+    let slots = &ws.scan_slots.0[..threads];
+    let mirror = &ws.mirror;
+    let slot_policy = config.slot_policy;
+    let body = |w: usize, range: std::ops::Range<usize>| {
+        // analyzer::allow(panic-in-hot-path): lock poisoning means a sibling
+        // worker already panicked; propagating is the only sound option.
+        let s = scan.read().expect("scan lock");
+        let row = &mirror[s.job * total_resources..][..total_resources];
+        let mut best = (f64::INFINITY, 0.0, u32::MAX); // (eft, start, resource)
+        for idx in range {
+            let r = alive[idx];
+            let cost = row[r.idx()];
+            let est = s.ready[r.idx()].max(s.floor[r.idx()]);
+            // Chunk-local EFT lower-bound prune: `eft >= est + cost`, and the
+            // chunk best only improves under strict `<`, so the skip is exact
+            // (same argument as the sequential scan).
+            if est + cost >= best.0 {
+                continue;
+            }
+            let start = s.tables[r.idx()].earliest_start(est, cost, slot_policy);
+            let eft = start + cost;
+            if eft < best.0 {
+                best = (eft, start, r.0);
+            }
+        }
+        // analyzer::allow(panic-in-hot-path): same poisoning argument as above.
+        *slots[w].lock().expect("scan slot") = best;
+    };
+    pool_scope(threads, body, |pool| {
+        for oi in 0..ws.order.len() {
+            let job = ws.order[oi];
+            if view.is_finished(job) || ws.slot_res[job.idx()] != UNPLACED {
+                continue;
+            }
+            {
+                // analyzer::allow(panic-in-hot-path): poisoning propagation, as above.
+                let mut s = scan.write().expect("scan lock");
+                fill_ready_for_job(
+                    dag,
+                    costs,
+                    view,
+                    alive,
+                    clock,
+                    job,
+                    use_group,
+                    total_resources,
+                    &ws.slot_res,
+                    &ws.slot_time,
+                    &mut ws.pred_fea,
+                    &mut ws.fin_sorted,
+                    &mut ws.exc_val,
+                    &mut ws.exc_touched,
+                    &mut s.ready,
+                );
+                s.job = job.idx();
+            }
+            pool.dispatch(0..alive.len());
+            let mut best = (f64::INFINITY, 0.0, u32::MAX);
+            for slot in slots {
+                // analyzer::allow(panic-in-hot-path): poisoning propagation, as above.
+                let cand = *slot.lock().expect("scan slot");
+                if cand.2 != u32::MAX && cand.0 < best.0 {
+                    best = cand;
+                }
+            }
+            let (eft, start, r_raw) = best;
+            assert!(r_raw != u32::MAX, "alive is non-empty");
+            let r = ResourceId(r_raw);
+            // analyzer::allow(panic-in-hot-path): poisoning propagation, as above.
+            let mut s = scan.write().expect("scan lock");
+            s.tables[r.idx()].reserve(start, eft - start, job);
+            ws.slot_res[job.idx()] = r.0;
+            ws.slot_time[job.idx()] = eft;
+            ws.assignments.push(Assignment { job, resource: r, start, finish: eft });
+        }
+    });
+    // analyzer::allow(panic-in-hot-path): poisoning propagation, as above.
+    let s = scan.into_inner().expect("scan lock");
+    ws.tables = s.tables;
+    ws.floor = s.floor;
+    ws.ready = s.ready;
 }
 
 #[cfg(test)]

@@ -111,6 +111,18 @@ impl AdaptivePlanner {
         }
     }
 
+    /// Set the worker count for intra-pass parallelism (see
+    /// [`ScheduleWorkspace::set_threads`]); byte-identical for every `N`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.workspace.set_threads(threads);
+    }
+
+    /// Direct access to the planner's reusable workspace (bench/test knobs:
+    /// kernel mode, parallelism thresholds).
+    pub fn workspace_mut(&mut self) -> &mut ScheduleWorkspace {
+        &mut self.workspace
+    }
+
     /// Produce the initial full schedule (identical to HEFT) and remember
     /// its predicted makespan as `S0.makespan`.
     pub fn initial_plan(&mut self, dag: &Dag, costs: &CostTable) -> RescheduleOutcome {

@@ -277,13 +277,23 @@ impl PlannedPolicy {
     /// executed as-is (new resources are ignored; failures still force a
     /// replacement).
     pub fn static_heft(cfg: &RunConfig) -> Self {
-        Self::new(cfg.aheft, ReschedulePolicy::Never, cfg.variance_threshold)
+        let mut p = Self::new(cfg.aheft, ReschedulePolicy::Never, cfg.variance_threshold);
+        p.planner.set_threads(cfg.threads);
+        p
     }
 
     /// The paper's adaptive rescheduling strategy: re-evaluate per
     /// `cfg.policy` and replace the plan whenever the prediction improves.
     pub fn adaptive(cfg: &RunConfig) -> Self {
-        Self::new(cfg.aheft, cfg.policy, cfg.variance_threshold)
+        let mut p = Self::new(cfg.aheft, cfg.policy, cfg.variance_threshold);
+        p.planner.set_threads(cfg.threads);
+        p
+    }
+
+    /// Bench/test access to the underlying planner (kernel-mode and
+    /// parallelism-threshold knobs on its workspace).
+    pub fn planner_mut(&mut self) -> &mut AdaptivePlanner {
+        &mut self.planner
     }
 
     /// One planner evaluation; on acceptance, swap the plan, abort running

@@ -20,7 +20,9 @@
 
 #![warn(missing_docs)]
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Number of indices claimed per atomic increment. Large enough to amortize
 /// the fetch, small enough to balance uneven case costs (simulation cases
@@ -150,6 +152,150 @@ where
     });
 
     out.into_iter().map(|v| v.expect("every index produced")).collect()
+}
+
+/// Shared driver/worker state of one [`pool_scope`] pool: a generation
+/// counter announces new work, `remaining` counts workers still running the
+/// current generation, and `shutdown` releases the workers when the driver
+/// returns (or unwinds).
+struct PoolState {
+    generation: u64,
+    lo: usize,
+    hi: usize,
+    remaining: usize,
+    shutdown: bool,
+}
+
+/// Handle to a [`pool_scope`] worker pool, passed to the driver closure.
+///
+/// Each [`DispatchPool::dispatch`] call runs the pool's body once per worker
+/// over a deterministic contiguous partition of the index range (see
+/// [`worker_slice`]) and blocks until every worker finished. With
+/// `threads <= 1` no threads exist and the body runs inline on the caller,
+/// so a 1-thread pool is exactly the sequential loop.
+pub struct DispatchPool<'a> {
+    threads: usize,
+    body: &'a (dyn Fn(usize, Range<usize>) + Sync),
+    state: &'a Mutex<PoolState>,
+    work: &'a Condvar,
+    done: &'a Condvar,
+}
+
+impl DispatchPool<'_> {
+    /// Number of workers (1 means inline execution, no threads).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run the pool body over `range`, split into per-worker contiguous
+    /// slices, and block until all workers are done. Deterministic: worker
+    /// `w` always receives `worker_slice(w, threads, range)`, so any
+    /// per-worker outputs can be reduced in worker order for a result
+    /// independent of execution interleaving.
+    pub fn dispatch(&self, range: Range<usize>) {
+        if self.threads <= 1 {
+            (self.body)(0, range);
+            return;
+        }
+        let mut st = self.state.lock().expect("pool mutex poisoned");
+        st.generation += 1;
+        st.lo = range.start;
+        st.hi = range.end;
+        st.remaining = self.threads;
+        self.work.notify_all();
+        while st.remaining > 0 {
+            st = self.done.wait(st).expect("pool mutex poisoned");
+        }
+    }
+}
+
+/// The contiguous sub-range of `range` that worker `w` of `threads` covers
+/// under [`DispatchPool::dispatch`]: ranges partition the input in order
+/// (worker 0 gets the lowest indices), sizes differ by at most one.
+pub fn worker_slice(w: usize, threads: usize, range: Range<usize>) -> Range<usize> {
+    let n = range.end.saturating_sub(range.start);
+    let base = n / threads;
+    let rem = n % threads;
+    let start = range.start + w * base + w.min(rem);
+    let len = base + usize::from(w < rem);
+    start..start + len
+}
+
+/// Sets `shutdown` and wakes the workers even if the driver unwinds, so a
+/// panicking driver cannot deadlock the scope join on parked workers.
+struct PoolShutdown<'a> {
+    state: &'a Mutex<PoolState>,
+    work: &'a Condvar,
+}
+
+impl Drop for PoolShutdown<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.shutdown = true;
+        }
+        self.work.notify_all();
+    }
+}
+
+/// Run `driver` with a pool of `threads` persistent scoped workers all
+/// executing `body(worker_index, index_range)` on demand.
+///
+/// Unlike [`par_map`] — which spawns fresh threads per call — a
+/// `pool_scope` pool amortizes thread spawning over many *small* dispatches:
+/// the intra-pass schedulers dispatch once per DAG level or once per job,
+/// thousands of times per pass, where per-dispatch thread spawning would
+/// cost more than the work itself. Workers park on a condvar between
+/// dispatches.
+///
+/// `body` must be deterministic per `(worker, range)` for the usual
+/// bit-reproducibility discipline: dispatch partitions are deterministic
+/// ([`worker_slice`]), so writing per-worker results into per-worker slots
+/// and reducing them in worker order makes the parallel result independent
+/// of thread interleaving.
+pub fn pool_scope<B, D, R>(threads: usize, body: B, driver: D) -> R
+where
+    B: Fn(usize, Range<usize>) + Sync,
+    D: FnOnce(&DispatchPool<'_>) -> R,
+{
+    let threads = threads.max(1);
+    let state =
+        Mutex::new(PoolState { generation: 0, lo: 0, hi: 0, remaining: 0, shutdown: false });
+    let work = Condvar::new();
+    let done = Condvar::new();
+    let pool = DispatchPool { threads, body: &body, state: &state, work: &work, done: &done };
+    if threads == 1 {
+        return driver(&pool);
+    }
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let pool = &pool;
+            s.spawn(move || {
+                let mut seen = 0u64;
+                loop {
+                    let (generation, lo, hi) = {
+                        let mut st = pool.state.lock().expect("pool mutex poisoned");
+                        while st.generation == seen && !st.shutdown {
+                            st = pool.work.wait(st).expect("pool mutex poisoned");
+                        }
+                        if st.generation == seen {
+                            return; // shutdown, no unclaimed generation
+                        }
+                        (st.generation, st.lo, st.hi)
+                    };
+                    seen = generation;
+                    (pool.body)(w, worker_slice(w, pool.threads, lo..hi));
+                    let mut st = pool.state.lock().expect("pool mutex poisoned");
+                    st.remaining -= 1;
+                    if st.remaining == 0 {
+                        pool.done.notify_all();
+                    }
+                }
+            });
+        }
+        let _shutdown = PoolShutdown { state: &state, work: &work };
+        driver(&pool)
+    })
 }
 
 /// Parallel map-reduce: apply `map` to each item and fold the results with
@@ -293,5 +439,94 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_slices_partition_the_range() {
+        for threads in [1, 2, 3, 7] {
+            for (lo, hi) in [(0, 0), (0, 1), (3, 17), (0, 1000)] {
+                let mut covered = Vec::new();
+                for w in 0..threads {
+                    let s = worker_slice(w, threads, lo..hi);
+                    assert!(s.start >= lo && s.end <= hi);
+                    covered.extend(s);
+                }
+                assert_eq!(covered, (lo..hi).collect::<Vec<_>>(), "threads={threads} {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_scope_accumulates_like_sequential() {
+        // Per-worker slots + in-order reduction: the canonical deterministic
+        // pool pattern. Many small dispatches reuse the same workers.
+        let items: Vec<u64> = (0..977).collect();
+        let seq: u64 = items.iter().sum();
+        for threads in [1, 2, 4] {
+            let slots: Vec<Mutex<u64>> = (0..threads).map(|_| Mutex::new(0)).collect();
+            let total = pool_scope(
+                threads,
+                |w, range| {
+                    let part: u64 = items[range].iter().sum();
+                    *slots[w].lock().unwrap() += part;
+                },
+                |pool| {
+                    assert_eq!(pool.threads(), threads);
+                    // Several dispatches against the same pool.
+                    pool.dispatch(0..400);
+                    pool.dispatch(400..400); // empty range is fine
+                    pool.dispatch(400..items.len());
+                    slots.iter().map(|s| *s.lock().unwrap()).sum::<u64>()
+                },
+            );
+            assert_eq!(total, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_scope_ordered_reduction_is_deterministic() {
+        // First-minimum reduction in worker order must equal the sequential
+        // first-minimum regardless of interleaving.
+        let vals: Vec<f64> = (0..503).map(|i| f64::from((i * 7919) % 1000)).collect();
+        let seq = vals
+            .iter()
+            .enumerate()
+            .fold(None::<(f64, usize)>, |best, (i, &v)| {
+                if best.is_none_or(|(b, _)| v < b) {
+                    Some((v, i))
+                } else {
+                    best
+                }
+            })
+            .unwrap();
+        for threads in [1, 3, 8] {
+            let slots: Vec<Mutex<Option<(f64, usize)>>> =
+                (0..threads).map(|_| Mutex::new(None)).collect();
+            let got = pool_scope(
+                threads,
+                |w, range| {
+                    let mut best: Option<(f64, usize)> = None;
+                    for i in range {
+                        if best.is_none_or(|(b, _)| vals[i] < b) {
+                            best = Some((vals[i], i));
+                        }
+                    }
+                    *slots[w].lock().unwrap() = best;
+                },
+                |pool| {
+                    pool.dispatch(0..vals.len());
+                    let mut best: Option<(f64, usize)> = None;
+                    for s in &slots {
+                        if let Some((v, i)) = *s.lock().unwrap() {
+                            if best.is_none_or(|(b, _)| v < b) {
+                                best = Some((v, i));
+                            }
+                        }
+                    }
+                    best.unwrap()
+                },
+            );
+            assert_eq!(got, seq, "threads={threads}");
+        }
     }
 }

@@ -48,6 +48,16 @@ pub fn rank_upward_over_into(
 ) {
     rank.clear();
     rank.resize(dag.job_count(), 0.0);
+    // Tiled prepass: fold the alive columns into per-job sums with cache-
+    // resident job tiles instead of one strided `avg_comp_over` probe per
+    // job. Per job the additions happen in the same left-to-right alive
+    // order, so `sum / len` is bit-identical to `avg_comp_over` (the Eq. 5
+    // fold-order contract).
+    costs.fold_columns_into(alive, rank);
+    let len_f = alive.len() as f64;
+    // The sweep consumes each job's slot exactly once, at the job's own
+    // turn: successors (already processed) hold ranks, predecessors still
+    // hold sums, so the buffer converts in place without scratch.
     for &j in dag.topo_order().iter().rev() {
         let mut best = 0.0f64;
         for &(s, e) in dag.succs(j) {
@@ -56,7 +66,8 @@ pub fn rank_upward_over_into(
                 best = cand;
             }
         }
-        rank[j.idx()] = costs.avg_comp_over(j, alive) + best;
+        let avg = if alive.is_empty() { 0.0 } else { rank[j.idx()] / len_f };
+        rank[j.idx()] = avg + best;
     }
 }
 

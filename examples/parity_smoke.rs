@@ -1,0 +1,84 @@
+//! CI parity smoke: one mid-run rescheduling pass, byte-compared across
+//! the kernel/threading matrix of ISSUE 9.
+//!
+//! Runs a v=300 / R=64 half-finished snapshot through
+//!
+//! * the pre-tiling baseline (`ForceBaseline`, sequential),
+//! * the auto-gated kernels (`Auto`, sequential),
+//! * the tiled kernels with the worker pool forced on
+//!   (`ForceTiled`, `threads = 2`, all par-min thresholds at 1),
+//!
+//! and asserts every assignment (job, resource, start/finish f64 bits) and
+//! the predicted makespan are identical. Exits non-zero on any mismatch —
+//! a cheap end-to-end determinism gate next to the full property suites.
+
+use aheft::core::aheft::{aheft_reschedule_with, AheftConfig, KernelMode, ScheduleWorkspace};
+use aheft::gridsim::executor::Snapshot;
+use aheft::prelude::*;
+use aheft::workflow::generators::random::{generate, RandomDagParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (jobs, resources) = (300usize, 64usize);
+    let mut rng = StdRng::seed_from_u64(99);
+    let p = RandomDagParams { jobs, ..RandomDagParams::paper_default() };
+    let wf = generate(&p, &mut rng);
+    let costs = wf.sample_table(resources, &mut rng);
+    let mut snap = Snapshot::initial(resources);
+    snap.clock = 500.0;
+    snap.resource_avail = vec![500.0; resources];
+    for (k, &j) in wf.dag.topo_order().to_vec().iter().take(jobs / 2).enumerate() {
+        snap.set_finished(j, ResourceId::from(k % resources), 400.0);
+        for &(_, e) in wf.dag.succs(j) {
+            snap.add_transfer(e, ResourceId::from((k + 1) % resources), 450.0);
+        }
+    }
+    let alive: Vec<ResourceId> = (0..resources).map(ResourceId::from).collect();
+    let config = AheftConfig::default();
+
+    let run = |kernel: KernelMode, threads: usize| {
+        let mut ws = ScheduleWorkspace::new();
+        ws.set_kernel_mode(kernel);
+        ws.set_threads(threads);
+        ws.set_eft_par_min(1);
+        ws.set_rank_par_min(1);
+        let out = aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut ws);
+        (out.plan.assignments().to_vec(), out.predicted_makespan)
+    };
+
+    let (base, base_predicted) = run(KernelMode::ForceBaseline, 1);
+    for (kernel, threads) in
+        [(KernelMode::Auto, 1), (KernelMode::ForceTiled, 1), (KernelMode::ForceTiled, 2)]
+    {
+        let (got, predicted) = run(kernel, threads);
+        assert_eq!(base.len(), got.len(), "{kernel:?}/t{threads}: plan length diverged");
+        for (x, y) in base.iter().zip(&got) {
+            assert_eq!(x.job, y.job, "{kernel:?}/t{threads}: order diverged");
+            assert_eq!(x.resource, y.resource, "{kernel:?}/t{threads}: {} placement", x.job);
+            assert_eq!(
+                x.start.to_bits(),
+                y.start.to_bits(),
+                "{kernel:?}/t{threads}: {} start bits",
+                x.job
+            );
+            assert_eq!(
+                x.finish.to_bits(),
+                y.finish.to_bits(),
+                "{kernel:?}/t{threads}: {} finish bits",
+                x.job
+            );
+        }
+        assert_eq!(
+            base_predicted.to_bits(),
+            predicted.to_bits(),
+            "{kernel:?}/t{threads}: predicted makespan bits diverged"
+        );
+        println!(
+            "parity ok: {kernel:?} threads={threads} — {} assignments, predicted {:.3}",
+            got.len(),
+            predicted
+        );
+    }
+    println!("parity smoke passed: v={jobs} R={resources}, all kernel/thread variants identical");
+}

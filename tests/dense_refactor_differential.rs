@@ -17,7 +17,8 @@
 use std::collections::HashMap;
 
 use aheft::core::aheft::{
-    aheft_reschedule, aheft_reschedule_with, AheftConfig, ReschedulableSet, ScheduleWorkspace,
+    aheft_reschedule, aheft_reschedule_with, AheftConfig, KernelMode, ReschedulableSet,
+    ScheduleWorkspace,
 };
 use aheft::gridsim::executor::Snapshot;
 use aheft::gridsim::plan::Assignment;
@@ -230,6 +231,43 @@ fn scheduler_matches_prerefactor_oracle_on_random_instances() {
                 aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut ws);
             assert_identical("reused-vs-oracle", seed, reused.plan.assignments(), &oracle_plan);
             assert_eq!(reused.predicted_makespan.to_bits(), oracle_predicted.to_bits());
+        }
+    }
+}
+
+#[test]
+fn tiled_and_parallel_kernels_match_the_oracle() {
+    // ISSUE 9: the tiled cost kernels (row-major mirror, direct Eq. 2
+    // path) and the parallel rank sweep / EFT scan must stay pinned to the
+    // same pre-refactor oracle, with every threshold forced so the new
+    // machinery genuinely runs on these small instances.
+    let mut ws = ScheduleWorkspace::new(); // deliberately reused across all cases
+    ws.set_kernel_mode(KernelMode::ForceTiled);
+    ws.set_threads(2);
+    ws.set_eft_par_min(1);
+    ws.set_rank_par_min(1);
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let jobs = 10 + (seed as usize % 5) * 10;
+        let resources = 2 + (seed as usize % 7);
+        let p = RandomDagParams {
+            jobs,
+            ccr: [0.1, 1.0, 5.0][seed as usize % 3],
+            ..RandomDagParams::paper_default()
+        };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        let snap = fabricate_snapshot(&wf.dag, &costs, resources, &mut rng);
+        let alive: Vec<ResourceId> = (0..resources).map(ResourceId::from).collect();
+        for config in [
+            AheftConfig::default(),
+            AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() },
+        ] {
+            let (oracle_plan, oracle_predicted) =
+                oracle_reschedule(&wf.dag, &costs, &snap, &alive, &config);
+            let got = aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut ws);
+            assert_identical("tiled-par-vs-oracle", seed, got.plan.assignments(), &oracle_plan);
+            assert_eq!(got.predicted_makespan.to_bits(), oracle_predicted.to_bits());
         }
     }
 }

@@ -1,0 +1,208 @@
+//! Property gate for ISSUE 9's intra-pass parallelism and tiled kernels:
+//! over random DAGs, pools, mid-run snapshots (finished jobs, committed
+//! transfers, running jobs) and thread counts, one scheduling pass must
+//! produce **byte-identical** results — same assignment sequence, same
+//! f64 bit patterns, same predicted makespan — regardless of
+//!
+//! * the kernel mode ([`KernelMode::ForceBaseline`] = the pre-tiling code
+//!   path, `Auto` = size-gated, `ForceTiled` = row-major mirror forced on),
+//! * the worker count (`threads = N` vs the sequential `threads = 1`),
+//! * whether the parallel paths are forced onto tiny instances (par-min
+//!   thresholds dropped to 1, so the pool machinery really runs).
+//!
+//! A second gate runs whole simulated executions (pool growth, planner
+//! replacements, transfer re-routing) and compares every observable of the
+//! run including the full trace hash.
+
+use aheft::core::aheft::{
+    aheft_reschedule_with, AheftConfig, KernelMode, ReschedulableSet, ScheduleWorkspace,
+};
+use aheft::core::runner::{run_policy, RunConfig, RunReport};
+use aheft::core::PlannedPolicy;
+use aheft::gridsim::executor::Snapshot;
+use aheft::gridsim::plan::Assignment;
+use aheft::gridsim::reservation::SlotPolicy;
+use aheft::prelude::*;
+use aheft::workflow::generators::random::{generate, RandomDagParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A workspace tuned so *every* parallel/tiled path actually executes,
+/// even on instances far below the production size gates.
+fn forced_workspace(kernel: KernelMode, threads: usize) -> ScheduleWorkspace {
+    let mut ws = ScheduleWorkspace::new();
+    ws.set_kernel_mode(kernel);
+    ws.set_threads(threads);
+    ws.set_eft_par_min(1);
+    ws.set_rank_par_min(1);
+    ws
+}
+
+/// Byte-exact assignment comparison (f64 compared by bit pattern).
+fn assert_identical(label: &str, a: &[Assignment], b: &[Assignment]) {
+    assert_eq!(a.len(), b.len(), "{label}: plan lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.job, y.job, "{label}: placement order diverged");
+        assert_eq!(x.resource, y.resource, "{label}: {} placed differently", x.job);
+        assert_eq!(x.start.to_bits(), y.start.to_bits(), "{label}: {} start bits", x.job);
+        assert_eq!(x.finish.to_bits(), y.finish.to_bits(), "{label}: {} finish bits", x.job);
+    }
+}
+
+/// Fabricate a plausible mid-run snapshot: a topo prefix finished (spread
+/// over resources, with committed transfers for some out-edges), a couple
+/// of jobs running, the rest waiting.
+fn fabricate_snapshot(
+    dag: &Dag,
+    costs: &CostTable,
+    resources: usize,
+    rng: &mut StdRng,
+) -> Snapshot {
+    let clock = 100.0 + rng.random_range(0.0..200.0);
+    let mut snap = Snapshot::initial(resources);
+    snap.clock = clock;
+    snap.resource_avail = vec![clock; resources];
+    let done = rng.random_range(0..=dag.job_count() / 2);
+    let topo: Vec<JobId> = dag.topo_order().to_vec();
+    for (k, &j) in topo.iter().take(done).enumerate() {
+        let r = ResourceId::from(k % resources);
+        let aft = clock * (0.2 + 0.6 * (k as f64 / done.max(1) as f64));
+        snap.set_finished(j, r, aft);
+        for &(_, e) in dag.succs(j) {
+            if rng.random_range(0.0..1.0) < 0.5 {
+                let dest = ResourceId::from(rng.random_range(0..resources));
+                snap.add_transfer(e, dest, aft + costs.comm(e));
+            }
+        }
+    }
+    let mut running = 0;
+    for &j in topo.iter().skip(done) {
+        if running >= 2 {
+            break;
+        }
+        if dag.preds(j).iter().all(|&(p, _)| snap.is_finished(p)) {
+            let r = ResourceId::from(rng.random_range(0..resources));
+            snap.set_running(j, r, clock - 5.0, clock + rng.random_range(1.0..50.0));
+            running += 1;
+        }
+    }
+    snap
+}
+
+fn arb_instance() -> impl Strategy<Value = (usize, usize, f64, u64)> {
+    (
+        4usize..80,                                   // jobs
+        2usize..20,                                   // resources
+        prop_oneof![Just(0.1), Just(1.0), Just(5.0)], // ccr
+        0u64..1_000_000,                              // seed
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedules_identical_across_kernels_and_threads(
+        (jobs, resources, ccr, seed) in arb_instance()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = RandomDagParams { jobs, ccr, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(resources, &mut rng);
+        let snap = fabricate_snapshot(&wf.dag, &costs, resources, &mut rng);
+        // Pool subset: drop one resource on odd seeds (a departed resource).
+        let alive: Vec<ResourceId> = (0..resources)
+            .filter(|&r| !(seed % 2 == 1 && r == seed as usize % resources))
+            .map(ResourceId::from)
+            .collect();
+        for config in [
+            AheftConfig::default(),
+            AheftConfig { slot_policy: SlotPolicy::EndOfQueue, ..Default::default() },
+            AheftConfig { reschedulable: ReschedulableSet::NotStarted, ..Default::default() },
+        ] {
+            let mut base_ws = forced_workspace(KernelMode::ForceBaseline, 1);
+            let base =
+                aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut base_ws);
+            for (kernel, threads) in [
+                (KernelMode::Auto, 1),
+                (KernelMode::ForceTiled, 1),
+                (KernelMode::ForceTiled, 2),
+                (KernelMode::ForceTiled, 4),
+                (KernelMode::Auto, 3),
+            ] {
+                let mut ws = forced_workspace(kernel, threads);
+                let got =
+                    aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut ws);
+                let label = format!("{kernel:?}/threads={threads}/{config:?}");
+                assert_identical(&label, base.plan.assignments(), got.plan.assignments());
+                prop_assert_eq!(
+                    base.predicted_makespan.to_bits(),
+                    got.predicted_makespan.to_bits(),
+                    "{}: predicted makespan bits", label
+                );
+                // A second pass through the now-warm workspace (mirror and
+                // level caches hit) must not drift either.
+                let again =
+                    aheft_reschedule_with(&wf.dag, &costs, snap.view(), &alive, &config, &mut ws);
+                assert_identical(&format!("{label}/warm"), base.plan.assignments(),
+                    again.plan.assignments());
+            }
+        }
+    }
+}
+
+/// FNV-1a over the debug rendering of every trace record, in order.
+fn trace_hash(report: &RunReport) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for ev in report.trace.events() {
+        for b in format!("{ev:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn end_to_end_runs_identical_across_threads() {
+    // Whole simulated executions — pool growth, planner evaluations, plan
+    // replacements, aborts, transfer re-routing — under threads ∈ {1, 2, 4}
+    // with every parallel path forced on, compared on every observable
+    // including the trace.
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let p = RandomDagParams { jobs: 40, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(5, &mut rng);
+        let dynamics = PoolDynamics::periodic_growth(5, 250.0, 0.2);
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let cfg = RunConfig { record_trace: true, threads, ..Default::default() };
+            let mut pol = PlannedPolicy::adaptive(&cfg);
+            let ws = pol.planner_mut().workspace_mut();
+            ws.set_kernel_mode(KernelMode::ForceTiled);
+            ws.set_eft_par_min(1);
+            ws.set_rank_par_min(1);
+            let r = run_policy(&wf.dag, &costs, &wf.costgen, &dynamics, seed, &cfg, &mut pol);
+            reports.push((threads, r));
+        }
+        let (_, base) = &reports[0];
+        for (threads, r) in &reports[1..] {
+            assert_eq!(
+                base.makespan.to_bits(),
+                r.makespan.to_bits(),
+                "seed {seed}: makespan diverged at threads={threads}"
+            );
+            assert_eq!(base.reschedules, r.reschedules, "seed {seed} threads={threads}");
+            assert_eq!(base.evaluations, r.evaluations, "seed {seed} threads={threads}");
+            assert_eq!(base.aborted_jobs, r.aborted_jobs, "seed {seed} threads={threads}");
+            assert_eq!(base.events_processed, r.events_processed, "seed {seed} threads={threads}");
+            assert_eq!(
+                trace_hash(base),
+                trace_hash(r),
+                "seed {seed}: trace diverged at threads={threads}"
+            );
+        }
+    }
+}

@@ -16,7 +16,8 @@ use std::sync::Mutex;
 static SERIAL: Mutex<()> = Mutex::new(());
 
 use aheft::core::aheft::{
-    aheft_reschedule, aheft_schedule_into, AheftConfig, ReschedulableSet, ScheduleWorkspace,
+    aheft_reschedule, aheft_schedule_into, AheftConfig, KernelMode, ReschedulableSet,
+    ScheduleWorkspace,
 };
 use aheft::core::planner::{AdaptivePlanner, Decision, ReschedulePolicy};
 use aheft::core::policy::PlanQueues;
@@ -110,6 +111,29 @@ fn aheft_pass_allocates_nothing_after_warmup() {
         });
         assert_eq!(warm.to_bits(), last.to_bits(), "reuse changed the result");
     }
+}
+
+#[test]
+fn tiled_kernel_pass_allocates_nothing_after_warmup() {
+    // ISSUE 9: the row-major mirror is built once per cost-table state and
+    // cached on the workspace — warm sequential passes through the tiled
+    // kernels (mirror-fed EFT scan, tiled rank fold) stay zero-alloc.
+    // Parallel passes (threads > 1) are exempt by design: the pool scope
+    // itself spawns threads.
+    let _serial = SERIAL.lock().unwrap();
+    let (dag, costs, snap, alive) = midrun_instance(120, 16);
+    let config = AheftConfig::default();
+    let mut ws = ScheduleWorkspace::new();
+    ws.set_kernel_mode(KernelMode::ForceTiled);
+    let warm = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+    aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+    let mut last = 0.0;
+    assert_alloc_free("tiled kernels", || {
+        for _ in 0..10 {
+            last = aheft_schedule_into(&dag, &costs, snap.view(), &alive, &config, &mut ws);
+        }
+    });
+    assert_eq!(warm.to_bits(), last.to_bits(), "reuse changed the result");
 }
 
 #[test]
