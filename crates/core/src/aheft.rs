@@ -223,6 +223,19 @@ pub struct ScheduleWorkspace {
     eft_par_min: usize,
     /// Per-worker reduction slots of the parallel EFT scan.
     scan_slots: ScanSlots,
+    /// What-if scratch table (see [`crate::whatif`]): a lazily-synced clone
+    /// of the caller's base cost table that hypothetical columns are
+    /// appended to and truncated back off via
+    /// [`CostTable::truncate_resources`], so warm queries reuse one buffer
+    /// instead of cloning the table per query.
+    pub(crate) whatif_table: Option<CostTable>,
+    /// `state_id` of the base table `whatif_table` was cloned from; a
+    /// mismatch (the scenario moved on) re-syncs the scratch clone.
+    pub(crate) whatif_base: Option<u64>,
+    /// Scratch hypothetical pool (alive set) buffer.
+    pub(crate) whatif_alive: Vec<ResourceId>,
+    /// Scratch hypothetical per-resource availability buffer.
+    pub(crate) whatif_avail: Vec<f64>,
 }
 
 impl Default for ScheduleWorkspace {
@@ -247,6 +260,10 @@ impl Default for ScheduleWorkspace {
             kernel: KernelMode::Auto,
             eft_par_min: DEFAULT_EFT_PAR_MIN,
             scan_slots: ScanSlots::default(),
+            whatif_table: None,
+            whatif_base: None,
+            whatif_alive: Vec::new(),
+            whatif_avail: Vec::new(),
         }
     }
 }

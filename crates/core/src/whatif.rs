@@ -10,10 +10,12 @@
 //! current pool and under a hypothetical pool with resources added or
 //! removed — without touching the running execution.
 
-use aheft_gridsim::executor::Snapshot;
-use aheft_workflow::{CostTable, Dag, ResourceId};
+use std::fmt;
 
-use crate::aheft::{aheft_reschedule_with, AheftConfig, ScheduleWorkspace};
+use aheft_gridsim::executor::Snapshot;
+use aheft_workflow::{CostTable, Dag, ResourceId, WorkflowError};
+
+use crate::aheft::{aheft_schedule_into, AheftConfig, ScheduleWorkspace};
 
 /// A hypothetical pool modification.
 #[derive(Debug, Clone)]
@@ -28,7 +30,56 @@ pub enum WhatIfQuery {
     /// §3.3 "if the failure is predictable, rescheduling can minimize the
     /// failure impact").
     RemoveResource(ResourceId),
+    /// Combined modification evaluated as *one* hypothetical pool: every
+    /// `add` column joins and every `remove` resource leaves simultaneously
+    /// — the "migrate load off node B onto new node A" question a single
+    /// add or remove cannot express.
+    Modify {
+        /// Cost columns of the hypothetical new resources.
+        add: Vec<Vec<f64>>,
+        /// Existing pool members that leave.
+        remove: Vec<ResourceId>,
+    },
 }
+
+impl WhatIfQuery {
+    /// The `(added columns, removed resources)` this query describes.
+    fn parts(&self) -> (&[Vec<f64>], &[ResourceId]) {
+        match self {
+            WhatIfQuery::AddResources { columns } => (columns, &[]),
+            WhatIfQuery::RemoveResource(r) => (&[], std::slice::from_ref(r)),
+            WhatIfQuery::Modify { add, remove } => (add, remove),
+        }
+    }
+}
+
+/// A malformed what-if query, detected *before* any evaluation side
+/// effects — the serve layer maps these to error responses instead of
+/// dying mid-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhatIfError {
+    /// A hypothetical cost column was rejected (length mismatch against the
+    /// DAG, negative or non-finite cost).
+    BadColumn(WorkflowError),
+    /// A removal named a resource that is not in the alive pool.
+    UnknownResource(ResourceId),
+    /// The modifications would leave the pool empty.
+    EmptyPool,
+}
+
+impl fmt::Display for WhatIfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhatIfError::BadColumn(e) => write!(f, "bad hypothetical column: {e}"),
+            WhatIfError::UnknownResource(r) => {
+                write!(f, "cannot remove {r}: not in the alive pool")
+            }
+            WhatIfError::EmptyPool => write!(f, "cannot remove the last resource"),
+        }
+    }
+}
+
+impl std::error::Error for WhatIfError {}
 
 /// Answer to a what-if query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +123,20 @@ pub fn what_if(
     what_if_with(dag, costs, snapshot, alive, config, query, &mut ws)
 }
 
+/// Fallible [`what_if`]: malformed queries come back as a [`WhatIfError`]
+/// instead of panicking.
+pub fn try_what_if(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+    query: &WhatIfQuery,
+) -> Result<WhatIfReport, WhatIfError> {
+    let mut ws = ScheduleWorkspace::new();
+    try_what_if_with(dag, costs, snapshot, alive, config, query, &mut ws)
+}
+
 /// Answer `query` under a *named* planned policy (see
 /// [`crate::policy::POLICY_NAMES`]): the hypothetical pools are evaluated
 /// with exactly the scheduling configuration that policy plans with under
@@ -91,8 +156,44 @@ pub fn what_if_policy(
     Some(what_if(dag, costs, snapshot, alive, &config, query))
 }
 
+/// Fallible [`what_if_policy`]: `None` for JIT / unknown policy names,
+/// `Some(Err(_))` for malformed queries.
+pub fn try_what_if_policy(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    policy_name: &str,
+    cfg: &crate::runner::RunConfig,
+    query: &WhatIfQuery,
+) -> Option<Result<WhatIfReport, WhatIfError>> {
+    let mut ws = ScheduleWorkspace::new();
+    try_what_if_policy_with(dag, costs, snapshot, alive, policy_name, cfg, query, &mut ws)
+}
+
+/// As [`try_what_if_policy`], reusing a caller-provided workspace — the
+/// serve layer's per-worker entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn try_what_if_policy_with(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    policy_name: &str,
+    cfg: &crate::runner::RunConfig,
+    query: &WhatIfQuery,
+    ws: &mut ScheduleWorkspace,
+) -> Option<Result<WhatIfReport, WhatIfError>> {
+    let config = crate::policy::planning_config(policy_name, cfg)?;
+    Some(try_what_if_with(dag, costs, snapshot, alive, &config, query, ws))
+}
+
 /// As [`what_if`], reusing a caller-provided [`ScheduleWorkspace`] across
 /// both scheduling passes (and across repeated queries).
+///
+/// # Panics
+/// Panics on a malformed query (see [`WhatIfError`]); delegate to
+/// [`try_what_if_with`] to handle those as values.
 pub fn what_if_with(
     dag: &Dag,
     costs: &CostTable,
@@ -102,30 +203,103 @@ pub fn what_if_with(
     query: &WhatIfQuery,
     ws: &mut ScheduleWorkspace,
 ) -> WhatIfReport {
-    let baseline =
-        aheft_reschedule_with(dag, costs, snapshot.view(), alive, config, ws).predicted_makespan;
-    let hypothetical = match query {
-        WhatIfQuery::AddResources { columns } => {
-            let mut costs2 = costs.clone();
-            let mut alive2 = alive.to_vec();
-            let mut avail2 = snapshot.resource_avail.clone();
-            for col in columns {
-                let id = costs2.add_resource(col).expect("column must match job count");
-                alive2.push(id);
-                // The hypothetical resource is free from `clock`.
-                avail2.push(snapshot.clock);
+    match try_what_if_with(dag, costs, snapshot, alive, config, query, ws) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible core of every what-if entry point. Validation happens *before*
+/// evaluation, so an `Err` leaves the workspace and scratch state exactly
+/// as found.
+///
+/// Warm-path allocation contract (pinned by `tests/zero_alloc.rs`): after
+/// the first query against a given base table, repeated queries allocate
+/// nothing — the hypothetical table is built by appending columns to a
+/// scratch clone cached on `ws` and truncating them back off via
+/// [`CostTable::truncate_resources`], which restores the base `state_id`
+/// (keeping the rank cache's append-lineage fast path live) and retains
+/// buffer capacity.
+pub fn try_what_if_with(
+    dag: &Dag,
+    costs: &CostTable,
+    snapshot: &Snapshot,
+    alive: &[ResourceId],
+    config: &AheftConfig,
+    query: &WhatIfQuery,
+    ws: &mut ScheduleWorkspace,
+) -> Result<WhatIfReport, WhatIfError> {
+    let (add, remove) = query.parts();
+    for &r in remove {
+        if !alive.contains(&r) {
+            return Err(WhatIfError::UnknownResource(r));
+        }
+    }
+    for col in add {
+        if col.len() != costs.job_count() {
+            return Err(WhatIfError::BadColumn(WorkflowError::DimensionMismatch(format!(
+                "column of {} entries for {} jobs",
+                col.len(),
+                costs.job_count()
+            ))));
+        }
+        for (i, &w) in col.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WhatIfError::BadColumn(WorkflowError::InvalidCost(format!(
+                    "w[{i}][new] = {w}"
+                ))));
             }
-            let view2 = snapshot.view_with_avail(&avail2);
-            aheft_reschedule_with(dag, &costs2, view2, &alive2, config, ws).predicted_makespan
         }
-        WhatIfQuery::RemoveResource(r) => {
-            let alive2: Vec<ResourceId> = alive.iter().copied().filter(|x| x != r).collect();
-            assert!(!alive2.is_empty(), "cannot remove the last resource");
-            aheft_reschedule_with(dag, costs, snapshot.view(), &alive2, config, ws)
-                .predicted_makespan
+    }
+    let kept = alive.iter().filter(|x| !remove.contains(x)).count();
+    if kept + add.len() == 0 {
+        return Err(WhatIfError::EmptyPool);
+    }
+
+    let baseline = aheft_schedule_into(dag, costs, snapshot.view(), alive, config, ws);
+    let hypothetical = if add.is_empty() {
+        // Pool shrink only: the base table is untouched, only the alive set
+        // changes (built in the cached scratch buffer).
+        let mut alive2 = std::mem::take(&mut ws.whatif_alive);
+        alive2.clear();
+        alive2.extend(alive.iter().copied().filter(|x| !remove.contains(x)));
+        let m = aheft_schedule_into(dag, costs, snapshot.view(), &alive2, config, ws);
+        ws.whatif_alive = alive2;
+        m
+    } else {
+        // Re-sync the scratch clone only when the base table moved on; a
+        // stream of queries against one scenario version pays the clone
+        // once.
+        if ws.whatif_base != Some(costs.state_id()) {
+            ws.whatif_table = Some(costs.clone());
+            ws.whatif_base = Some(costs.state_id());
         }
+        let mut table = ws.whatif_table.take().expect("scratch synced above");
+        let base_resources = table.resource_count();
+        let mut alive2 = std::mem::take(&mut ws.whatif_alive);
+        let mut avail2 = std::mem::take(&mut ws.whatif_avail);
+        alive2.clear();
+        alive2.extend(alive.iter().copied().filter(|x| !remove.contains(x)));
+        avail2.clear();
+        avail2.extend_from_slice(&snapshot.resource_avail);
+        for col in add {
+            let id = table.add_resource(col).expect("columns validated above");
+            alive2.push(id);
+            // The hypothetical resource is free from `clock`.
+            avail2.push(snapshot.clock);
+        }
+        let view2 = snapshot.view_with_avail(&avail2);
+        let m = aheft_schedule_into(dag, &table, view2, &alive2, config, ws);
+        // Pop the appends: the scratch returns to the base state id, so the
+        // rank cache warmed by the baseline pass stays append-reachable.
+        let restored = table.truncate_resources(base_resources);
+        debug_assert!(restored, "appends are always on the scratch lineage");
+        ws.whatif_table = Some(table);
+        ws.whatif_alive = alive2;
+        ws.whatif_avail = avail2;
+        m
     };
-    WhatIfReport { baseline_makespan: baseline, hypothetical_makespan: hypothetical }
+    Ok(WhatIfReport { baseline_makespan: baseline, hypothetical_makespan: hypothetical })
 }
 
 #[cfg(test)]
@@ -291,6 +465,178 @@ mod tests {
             &query
         )
         .is_none());
+    }
+
+    #[test]
+    fn combined_modify_matches_manual_pool_edit() {
+        // add r4 AND remove r1 in one query — the "migrate load off a node"
+        // shape. Must equal a manual evaluation over the edited pool.
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let snap = Snapshot::initial(3);
+        let cfg = AheftConfig::default();
+        let query = WhatIfQuery::Modify {
+            add: vec![sample::fig4_r4_column()],
+            remove: vec![ResourceId(0)],
+        };
+        let report = what_if(&dag, &costs, &snap, &alive(3), &cfg, &query);
+        assert!((report.baseline_makespan - 80.0).abs() < 1e-9);
+        let mut costs2 = sample::fig4_costs_initial();
+        let id = costs2.add_resource(&sample::fig4_r4_column()).unwrap();
+        let alive2 = vec![ResourceId(1), ResourceId(2), id];
+        let mut avail2 = snap.resource_avail.clone();
+        avail2.push(snap.clock);
+        let mut ws = ScheduleWorkspace::new();
+        let manual = crate::aheft::aheft_reschedule_with(
+            &dag,
+            &costs2,
+            snap.view_with_avail(&avail2),
+            &alive2,
+            &cfg,
+            &mut ws,
+        )
+        .predicted_makespan;
+        assert_eq!(report.hypothetical_makespan.to_bits(), manual.to_bits());
+    }
+
+    #[test]
+    fn combined_modify_with_empty_parts_is_baseline() {
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let query = WhatIfQuery::Modify { add: vec![], remove: vec![] };
+        let report = what_if(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            &AheftConfig::default(),
+            &query,
+        );
+        assert_eq!(report.baseline_makespan.to_bits(), report.hypothetical_makespan.to_bits());
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors_without_side_effects() {
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let snap = Snapshot::initial(3);
+        let cfg = AheftConfig::default();
+        let mut ws = ScheduleWorkspace::new();
+        // Unknown removal target.
+        let err = try_what_if_with(
+            &dag,
+            &costs,
+            &snap,
+            &alive(3),
+            &cfg,
+            &WhatIfQuery::RemoveResource(ResourceId(9)),
+            &mut ws,
+        )
+        .unwrap_err();
+        assert_eq!(err, WhatIfError::UnknownResource(ResourceId(9)));
+        // Column length mismatch.
+        let err = try_what_if_with(
+            &dag,
+            &costs,
+            &snap,
+            &alive(3),
+            &cfg,
+            &WhatIfQuery::AddResources { columns: vec![vec![1.0; 3]] },
+            &mut ws,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WhatIfError::BadColumn(_)));
+        // Non-finite cost.
+        let err = try_what_if_with(
+            &dag,
+            &costs,
+            &snap,
+            &alive(3),
+            &cfg,
+            &WhatIfQuery::AddResources { columns: vec![vec![f64::NAN; 10]] },
+            &mut ws,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WhatIfError::BadColumn(_)));
+        // Removing the whole pool, even via the combined form.
+        let err = try_what_if_with(
+            &dag,
+            &costs,
+            &snap,
+            &alive(3),
+            &cfg,
+            &WhatIfQuery::Modify {
+                add: vec![],
+                remove: vec![ResourceId(0), ResourceId(1), ResourceId(2)],
+            },
+            &mut ws,
+        )
+        .unwrap_err();
+        assert_eq!(err, WhatIfError::EmptyPool);
+        assert_eq!(err.to_string(), "cannot remove the last resource");
+        // A failed query must leave the workspace usable and the answers
+        // unchanged.
+        let ok = try_what_if_with(
+            &dag,
+            &costs,
+            &snap,
+            &alive(3),
+            &cfg,
+            &WhatIfQuery::AddResources { columns: vec![sample::fig4_r4_column()] },
+            &mut ws,
+        )
+        .unwrap();
+        assert!((ok.baseline_makespan - 80.0).abs() < 1e-9);
+        assert!((ok.hypothetical_makespan - 87.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replacing_the_whole_pool_is_allowed() {
+        // Every current resource leaves, one new one joins: pool non-empty.
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let report = try_what_if(
+            &dag,
+            &costs,
+            &Snapshot::initial(3),
+            &alive(3),
+            &AheftConfig::default(),
+            &WhatIfQuery::Modify {
+                add: vec![sample::fig4_r4_column()],
+                remove: vec![ResourceId(0), ResourceId(1), ResourceId(2)],
+            },
+        )
+        .unwrap();
+        assert!(report.hypothetical_makespan.is_finite());
+    }
+
+    #[test]
+    fn warm_scratch_reuse_is_bit_identical_to_fresh_workspaces() {
+        // The scratch-table path must answer exactly like a cold evaluation,
+        // across repeated and alternating query shapes.
+        let dag = sample::fig4_dag();
+        let costs = sample::fig4_costs_initial();
+        let snap = Snapshot::initial(3);
+        let cfg = AheftConfig::default();
+        let queries = [
+            WhatIfQuery::AddResources { columns: vec![sample::fig4_r4_column()] },
+            WhatIfQuery::RemoveResource(ResourceId(1)),
+            WhatIfQuery::Modify {
+                add: vec![sample::fig4_r4_column()],
+                remove: vec![ResourceId(2)],
+            },
+            WhatIfQuery::AddResources { columns: vec![sample::fig4_r4_column()] },
+        ];
+        let mut warm = ScheduleWorkspace::new();
+        for _ in 0..3 {
+            for q in &queries {
+                let w =
+                    try_what_if_with(&dag, &costs, &snap, &alive(3), &cfg, q, &mut warm).unwrap();
+                let cold = try_what_if(&dag, &costs, &snap, &alive(3), &cfg, q).unwrap();
+                assert_eq!(w.baseline_makespan.to_bits(), cold.baseline_makespan.to_bits());
+                assert_eq!(w.hypothetical_makespan.to_bits(), cold.hypothetical_makespan.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Versioned, copy-on-write scenario state shared by every worker.
+//!
+//! A [`Scenario`] is an immutable value: the workflow [`Dag`], the
+//! [`CostTable`], the execution [`Snapshot`] and the alive pool, each
+//! behind an [`Arc`]. Applying a [`Delta`] builds the *next* version by
+//! cloning only the pieces that change and sharing the rest — readers
+//! holding the previous `Arc<Scenario>` are never stalled or mutated
+//! under.
+
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use aheft_gridsim::executor::Snapshot;
+use aheft_workflow::generators::random::{generate, RandomDagParams};
+use aheft_workflow::{CostTable, Dag, JobId, ResourceId, WorkflowError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One immutable scenario version.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Monotonic version counter; bumped by every applied [`Delta`].
+    pub version: u64,
+    /// The workflow DAG (shared across every version — deltas never edit
+    /// the graph).
+    pub dag: Arc<Dag>,
+    /// Estimated cost table; cloned copy-on-write when a resource joins.
+    pub costs: Arc<CostTable>,
+    /// Execution state; cloned copy-on-write by job/clock deltas.
+    pub snapshot: Arc<Snapshot>,
+    /// The alive pool; cloned copy-on-write when membership changes.
+    pub alive: Arc<Vec<ResourceId>>,
+}
+
+/// Deterministic parameters the daemon builds its initial scenario from.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// DAG size `v` (paper generator, default shape parameters).
+    pub jobs: usize,
+    /// Pool size `R`.
+    pub resources: usize,
+    /// Seed for the DAG/cost sampling.
+    pub seed: u64,
+    /// Fraction of the DAG fabricated as already finished (round-robin
+    /// across the pool, one committed transfer per finished out-edge) —
+    /// the planner's realistic mid-run shape.
+    pub finished: f64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        Self { jobs: 1000, resources: 100, seed: 42, finished: 0.5 }
+    }
+}
+
+impl ScenarioParams {
+    /// Build version 0 of the scenario. Pure function of the parameters:
+    /// the same params always produce bit-identical state.
+    pub fn build(&self) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let p = RandomDagParams { jobs: self.jobs, ..RandomDagParams::paper_default() };
+        let wf = generate(&p, &mut rng);
+        let costs = wf.sample_table(self.resources, &mut rng);
+        let mut snap = Snapshot::initial(self.resources);
+        snap.clock = 500.0;
+        snap.resource_avail = vec![500.0; self.resources];
+        let done = ((self.jobs as f64) * self.finished.clamp(0.0, 1.0)) as usize;
+        let order = wf.dag.topo_order().to_vec();
+        for (k, &j) in order.iter().take(done).enumerate() {
+            snap.set_finished(j, ResourceId::from(k % self.resources), 400.0);
+            for &(_, e) in wf.dag.succs(j) {
+                snap.add_transfer(e, ResourceId::from((k + 1) % self.resources), 450.0);
+            }
+        }
+        let alive = (0..self.resources).map(ResourceId::from).collect();
+        Scenario {
+            version: 0,
+            dag: Arc::new(wf.dag),
+            costs: Arc::new(costs),
+            snapshot: Arc::new(snap),
+            alive: Arc::new(alive),
+        }
+    }
+}
+
+/// An execution-state change published through [`ScenarioStore::apply`].
+#[derive(Debug, Clone)]
+pub enum Delta {
+    /// `job` finished on `resource` at `time`; its output transfers are
+    /// committed to every successor edge at `time` and the resource is
+    /// free from `time`.
+    JobFinished {
+        /// The finished job.
+        job: JobId,
+        /// Where it ran.
+        resource: ResourceId,
+        /// Actual finish time (also advances the clock monotonically).
+        time: f64,
+    },
+    /// A new resource joins with the given estimated cost column, free
+    /// from the current clock.
+    ResourceJoined {
+        /// `column[i]` = estimated cost of job `i` on the new resource.
+        column: Vec<f64>,
+    },
+    /// `resource` leaves the alive pool (its cost column stays in the
+    /// table; history never shrinks).
+    ResourceLeft {
+        /// The departing resource.
+        resource: ResourceId,
+    },
+    /// Advance the rescheduling clock (monotonic; a smaller value is a
+    /// no-op on the clock).
+    AdvanceClock {
+        /// New clock value.
+        clock: f64,
+    },
+}
+
+/// A rejected delta; the scenario is left unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// The job id is outside the DAG.
+    UnknownJob(JobId),
+    /// The resource is not in the alive pool.
+    UnknownResource(ResourceId),
+    /// The joining resource's cost column was rejected.
+    BadColumn(WorkflowError),
+    /// The removal would empty the pool.
+    EmptyPool,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            DeltaError::UnknownResource(r) => write!(f, "{r} is not in the alive pool"),
+            DeltaError::BadColumn(e) => write!(f, "bad cost column: {e}"),
+            DeltaError::EmptyPool => write!(f, "delta would empty the pool"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl Scenario {
+    /// Build the next version with `delta` applied, copy-on-write: only
+    /// the changed components are cloned, the rest share their `Arc`s
+    /// with `self`.
+    pub fn apply(&self, delta: &Delta) -> Result<Scenario, DeltaError> {
+        let mut next = self.clone();
+        next.version = self.version + 1;
+        match delta {
+            Delta::JobFinished { job, resource, time } => {
+                if job.idx() >= self.dag.job_count() {
+                    return Err(DeltaError::UnknownJob(*job));
+                }
+                if !self.alive.contains(resource) {
+                    return Err(DeltaError::UnknownResource(*resource));
+                }
+                let mut snap = (*self.snapshot).clone();
+                snap.set_finished(*job, *resource, *time);
+                for &(_, e) in self.dag.succs(*job) {
+                    snap.add_transfer(e, *resource, *time);
+                }
+                snap.clock = snap.clock.max(*time);
+                let idx = resource.idx();
+                snap.resource_avail[idx] = snap.resource_avail[idx].max(*time);
+                next.snapshot = Arc::new(snap);
+            }
+            Delta::ResourceJoined { column } => {
+                let mut costs = (*self.costs).clone();
+                let id = costs.add_resource(column).map_err(DeltaError::BadColumn)?;
+                let mut snap = (*self.snapshot).clone();
+                snap.resource_avail.push(snap.clock);
+                let mut alive = (*self.alive).clone();
+                alive.push(id);
+                next.costs = Arc::new(costs);
+                next.snapshot = Arc::new(snap);
+                next.alive = Arc::new(alive);
+            }
+            Delta::ResourceLeft { resource } => {
+                if !self.alive.contains(resource) {
+                    return Err(DeltaError::UnknownResource(*resource));
+                }
+                let alive: Vec<ResourceId> =
+                    self.alive.iter().copied().filter(|r| r != resource).collect();
+                if alive.is_empty() {
+                    return Err(DeltaError::EmptyPool);
+                }
+                next.alive = Arc::new(alive);
+            }
+            Delta::AdvanceClock { clock } => {
+                let mut snap = (*self.snapshot).clone();
+                snap.clock = snap.clock.max(*clock);
+                next.snapshot = Arc::new(snap);
+            }
+        }
+        Ok(next)
+    }
+}
+
+/// The daemon's single source of truth: the current [`Scenario`] behind a
+/// [`RwLock`]ed [`Arc`]. Readers [`load`](Self::load) an `Arc` clone and
+/// evaluate against it lock-free; [`apply`](Self::apply) swaps in the
+/// next version without waiting for those readers to finish.
+#[derive(Debug)]
+pub struct ScenarioStore {
+    current: RwLock<Arc<Scenario>>,
+}
+
+impl ScenarioStore {
+    /// Wrap `scenario` as the current version.
+    pub fn new(scenario: Scenario) -> Self {
+        Self { current: RwLock::new(Arc::new(scenario)) }
+    }
+
+    /// The current scenario (an `Arc` clone; never blocks on writers for
+    /// longer than the pointer swap).
+    pub fn load(&self) -> Arc<Scenario> {
+        Arc::clone(&self.current.read().expect("scenario lock poisoned"))
+    }
+
+    /// Apply `delta` to the current version and publish the result.
+    /// Returns the new version number.
+    pub fn apply(&self, delta: &Delta) -> Result<u64, DeltaError> {
+        let mut slot = self.current.write().expect("scenario lock poisoned");
+        let next = slot.apply(delta)?;
+        let version = next.version;
+        *slot = Arc::new(next);
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        ScenarioParams { jobs: 30, resources: 4, seed: 7, finished: 0.5 }.build()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.dag.job_count(), b.dag.job_count());
+        assert_ne!(a.costs.state_id(), b.costs.state_id(), "state ids are process-unique");
+        for r in 0..4 {
+            assert_eq!(
+                a.costs.comp_column(ResourceId::from(r)),
+                b.costs.comp_column(ResourceId::from(r))
+            );
+        }
+        assert_eq!(a.snapshot.clock, b.snapshot.clock);
+    }
+
+    #[test]
+    fn deltas_are_copy_on_write() {
+        let store = ScenarioStore::new(tiny());
+        let v0 = store.load();
+        let v1 =
+            store.apply(&Delta::ResourceJoined { column: vec![10.0; v0.dag.job_count()] }).unwrap();
+        assert_eq!(v1, 1);
+        let now = store.load();
+        // The old reader still sees version 0, untouched.
+        assert_eq!(v0.version, 0);
+        assert_eq!(v0.costs.resource_count(), 4);
+        assert_eq!(now.costs.resource_count(), 5);
+        assert_eq!(now.alive.len(), 5);
+        // The DAG is shared, not copied.
+        assert!(Arc::ptr_eq(&v0.dag, &now.dag));
+        // The snapshot diverged (new avail entry).
+        assert_eq!(now.snapshot.resource_count(), 5);
+        assert_eq!(v0.snapshot.resource_count(), 4);
+    }
+
+    #[test]
+    fn bad_deltas_leave_the_store_untouched() {
+        let store = ScenarioStore::new(tiny());
+        let err = store.apply(&Delta::ResourceLeft { resource: ResourceId(9) }).unwrap_err();
+        assert_eq!(err, DeltaError::UnknownResource(ResourceId(9)));
+        let err = store.apply(&Delta::JobFinished {
+            job: JobId(999),
+            resource: ResourceId(0),
+            time: 1.0,
+        });
+        assert!(matches!(err, Err(DeltaError::UnknownJob(_))));
+        let err = store.apply(&Delta::ResourceJoined { column: vec![1.0] }).unwrap_err();
+        assert!(matches!(err, DeltaError::BadColumn(_)));
+        assert_eq!(store.load().version, 0);
+    }
+
+    #[test]
+    fn removing_the_whole_pool_is_rejected() {
+        let store = ScenarioStore::new(tiny());
+        for r in 0..3 {
+            store.apply(&Delta::ResourceLeft { resource: ResourceId(r) }).unwrap();
+        }
+        let err = store.apply(&Delta::ResourceLeft { resource: ResourceId(3) }).unwrap_err();
+        assert_eq!(err, DeltaError::EmptyPool);
+        assert_eq!(store.load().alive.len(), 1);
+    }
+
+    #[test]
+    fn job_finish_commits_transfers_and_frees_the_resource() {
+        let scen = tiny();
+        // Find a not-yet-finished job.
+        let job = (0..scen.dag.job_count())
+            .map(JobId::from)
+            .find(|&j| !scen.snapshot.is_finished(j))
+            .expect("half the DAG is unfinished");
+        let next =
+            scen.apply(&Delta::JobFinished { job, resource: ResourceId(1), time: 600.0 }).unwrap();
+        assert!(next.snapshot.is_finished(job));
+        assert_eq!(next.snapshot.clock, 600.0);
+        assert_eq!(next.snapshot.resource_avail[1], 600.0);
+        assert_eq!(next.version, 1);
+    }
+}

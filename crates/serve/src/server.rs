@@ -1,0 +1,92 @@
+//! Transport loops: stdin/stdout and TCP, hand-rolled on `std` (the
+//! workspace vendors every dependency, so there is no async runtime —
+//! and none is needed: the engine batches and fans out internally).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use crate::engine::QueryEngine;
+
+/// Drive `engine` over one line-delimited stream: read up to `batch`
+/// request lines, answer them in order, flush, repeat until EOF.
+///
+/// `batch > 1` is for pipelined clients (the response to a line may be
+/// withheld until `batch - 1` more lines or EOF arrive); interactive
+/// clients should run with `batch = 1` (the default), which answers and
+/// flushes after every line. Batching never changes the response bytes —
+/// only their flush timing.
+pub fn serve_stream<R: BufRead, W: Write>(
+    engine: &QueryEngine,
+    batch: usize,
+    mut input: R,
+    mut output: W,
+) -> io::Result<()> {
+    let batch = batch.max(1);
+    let mut pending: Vec<String> = Vec::with_capacity(batch);
+    let mut out = String::new();
+    loop {
+        let mut line = String::new();
+        let eof = input.read_line(&mut line)? == 0;
+        if !eof && !line.trim().is_empty() {
+            pending.push(line);
+        }
+        if pending.len() >= batch || (eof && !pending.is_empty()) {
+            out.clear();
+            engine.process_batch(pending.iter().map(String::as_str), &mut out);
+            output.write_all(out.as_bytes())?;
+            output.flush()?;
+            pending.clear();
+        }
+        if eof {
+            return Ok(());
+        }
+    }
+}
+
+/// Accept TCP connections on `addr` and serve each with [`serve_stream`],
+/// one at a time (connections queue in the listener backlog; the scenario
+/// store persists across connections, so a delta applied by one client is
+/// visible to the next). A client I/O error drops that connection only.
+pub fn serve_tcp(engine: &QueryEngine, addr: &str, batch: usize) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("served: listening on {}", listener.local_addr()?);
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let peer = stream.peer_addr()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        if let Err(e) = serve_stream(engine, batch, reader, &stream) {
+            eprintln!("served: connection {peer} dropped: {e}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioParams;
+
+    #[test]
+    fn stream_loop_answers_every_line_and_respects_batching() {
+        let engine = QueryEngine::new(
+            ScenarioParams { jobs: 40, resources: 4, seed: 3, finished: 0.5 }.build(),
+            1,
+        );
+        let input = concat!(
+            r#"{"id":1,"op":"info"}"#,
+            "\n\n",
+            r#"{"id":2,"op":"replan"}"#,
+            "\n",
+            r#"{"id":3,"op":"info"}"#,
+            "\n",
+        );
+        let mut one = Vec::new();
+        serve_stream(&engine, 1, input.as_bytes(), &mut one).unwrap();
+        let mut big = Vec::new();
+        serve_stream(&engine, 64, input.as_bytes(), &mut big).unwrap();
+        assert_eq!(one, big, "batch size changed response bytes");
+        let text = String::from_utf8(one).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with("{\"id\":")));
+    }
+}

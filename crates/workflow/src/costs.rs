@@ -334,6 +334,33 @@ impl CostTable {
         Ok(id)
     }
 
+    /// Truncate the table back to `r` resources **in place** by walking the
+    /// append lineage backwards: each undone [`Self::add_resource`] pops its
+    /// history entry and restores the `state_id` the table had before that
+    /// append. The column buffer keeps its capacity, so an
+    /// append/evaluate/truncate cycle (the what-if scratch path) allocates
+    /// nothing once the buffer has grown to steady state — unlike
+    /// [`Self::truncated`], which copies into a fresh, lineage-less table.
+    ///
+    /// Returns `true` when `r` was reached via the lineage. When `r` is not
+    /// a recorded lineage state (below the oldest append, or above the
+    /// current count) the table is left untouched and `false` is returned.
+    pub fn truncate_resources(&mut self, r: usize) -> bool {
+        if r == self.resources {
+            return true;
+        }
+        if r > self.resources || !self.history.iter().any(|&(_, n)| n == r) {
+            return false;
+        }
+        while self.resources > r {
+            let (id, n) = self.history.pop().expect("lineage reaches r");
+            self.state_id = id;
+            self.resources = n;
+        }
+        self.comp.truncate(self.resources * self.jobs);
+        true
+    }
+
     /// Restrict the table to the first `r` resources (used to compare "what
     /// if the pool never grew" scenarios). O(jobs · r): a prefix copy of the
     /// column-major buffer.
@@ -504,6 +531,44 @@ mod tests {
         let mut t = CostTable::from_dag_comm(&d, &[vec![1.0], vec![2.0]], 1.0).unwrap();
         assert!(t.add_resource(&[5.0]).is_err());
         assert!(t.add_resource(&[5.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn truncate_resources_restores_lineage_state() {
+        let d = tiny_dag();
+        let mut t = CostTable::from_dag_comm(&d, &[vec![1.0], vec![2.0]], 1.0).unwrap();
+        let base_id = t.state_id();
+        t.add_resource(&[5.0, 6.0]).unwrap();
+        let mid_id = t.state_id();
+        t.add_resource(&[7.0, 8.0]).unwrap();
+        assert_eq!(t.resource_count(), 3);
+        // Undo the second append only: back on the mid state, lineage intact.
+        assert!(t.truncate_resources(2));
+        assert_eq!(t.state_id(), mid_id);
+        assert_eq!(t.resource_count(), 2);
+        assert_eq!(t.comp(JobId(1), ResourceId(1)), 6.0);
+        assert_eq!(t.columns_since(base_id), Some(1));
+        // Undo the rest: identical id to the pre-append table, so caches
+        // keyed on the state id treat the round trip as a no-op.
+        assert!(t.truncate_resources(1));
+        assert_eq!(t.state_id(), base_id);
+        assert_eq!(t.resource_count(), 1);
+        // No-op and unreachable targets.
+        assert!(t.truncate_resources(1));
+        assert!(!t.truncate_resources(0));
+        assert!(!t.truncate_resources(5));
+        assert_eq!(t.state_id(), base_id);
+    }
+
+    #[test]
+    fn truncate_resources_keeps_capacity() {
+        let d = tiny_dag();
+        let mut t = CostTable::from_dag_comm(&d, &[vec![1.0], vec![2.0]], 1.0).unwrap();
+        t.add_resource(&[5.0, 6.0]).unwrap();
+        assert!(t.truncate_resources(1));
+        let cap = t.comp.capacity();
+        t.add_resource(&[5.0, 6.0]).unwrap();
+        assert_eq!(t.comp.capacity(), cap, "re-append must reuse the buffer");
     }
 
     #[test]

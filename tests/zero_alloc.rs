@@ -137,6 +137,53 @@ fn tiled_kernel_pass_allocates_nothing_after_warmup() {
 }
 
 #[test]
+fn warm_what_if_queries_allocate_nothing_after_warmup() {
+    // ISSUE 10: a stream of what-if queries against one scenario version
+    // must be allocation-free after the first query grows the scratch
+    // buffers — the hypothetical table is built by appending columns to a
+    // clone cached on the workspace and truncating them back off in place
+    // (`CostTable::truncate_resources`), never by cloning per query.
+    let _serial = SERIAL.lock().unwrap();
+    let (dag, costs, snap, alive) = midrun_instance(120, 16);
+    let config = AheftConfig::default();
+    let column = vec![25.0; dag.job_count()];
+    let queries = [
+        WhatIfQuery::AddResources { columns: vec![column.clone()] },
+        WhatIfQuery::RemoveResource(ResourceId(3)),
+        WhatIfQuery::Modify { add: vec![column], remove: vec![ResourceId(5)] },
+    ];
+    let mut ws = ScheduleWorkspace::new();
+    // Warm-up: scratch table synced, pool buffers grown, rank caches hot.
+    let mut warm = Vec::new();
+    for q in &queries {
+        let r =
+            aheft::core::whatif::try_what_if_with(&dag, &costs, &snap, &alive, &config, q, &mut ws)
+                .unwrap();
+        warm.push(r);
+        let _ =
+            aheft::core::whatif::try_what_if_with(&dag, &costs, &snap, &alive, &config, q, &mut ws);
+    }
+    let mut last = Vec::with_capacity(queries.len());
+    assert_alloc_free("warm what-if window", || {
+        last.clear();
+        for _ in 0..5 {
+            last.clear();
+            for q in &queries {
+                let r = aheft::core::whatif::try_what_if_with(
+                    &dag, &costs, &snap, &alive, &config, q, &mut ws,
+                )
+                .unwrap();
+                last.push(r);
+            }
+        }
+    });
+    for (w, l) in warm.iter().zip(&last) {
+        assert_eq!(w.baseline_makespan.to_bits(), l.baseline_makespan.to_bits());
+        assert_eq!(w.hypothetical_makespan.to_bits(), l.hypothetical_makespan.to_bits());
+    }
+}
+
+#[test]
 fn plan_adoption_allocates_nothing_after_warmup() {
     // The runner's plan-replacement path: adopting a new plan into the
     // per-resource execution queues must reuse the queue buffers (ISSUE 5
